@@ -1,0 +1,310 @@
+// Command forecache is the command-line front end of the ForeCache
+// reproduction. Subcommands:
+//
+//	build     synthesize the MODIS world and persist the arrays to disk
+//	tracegen  simulate the 18-user x 3-task study and save the traces
+//	serve     run the HTTP middleware over a freshly built world
+//	explore   walk a move script through the middleware and print tiles
+//	bench     regenerate the paper's tables and figures (see -list)
+//
+// Every subcommand is deterministic for a fixed -seed.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math"
+	"net/http"
+	"os"
+	"strings"
+	"time"
+
+	"forecache"
+	"forecache/internal/eval"
+	"forecache/internal/render"
+	"forecache/internal/trace"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	var err error
+	switch os.Args[1] {
+	case "build":
+		err = cmdBuild(os.Args[2:])
+	case "tracegen":
+		err = cmdTracegen(os.Args[2:])
+	case "serve":
+		err = cmdServe(os.Args[2:])
+	case "explore":
+		err = cmdExplore(os.Args[2:])
+	case "render":
+		err = cmdRender(os.Args[2:])
+	case "bench":
+		err = cmdBench(os.Args[2:])
+	case "help", "-h", "--help":
+		usage()
+	default:
+		fmt.Fprintf(os.Stderr, "unknown subcommand %q\n", os.Args[1])
+		usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "error:", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage: forecache <subcommand> [flags]
+
+subcommands:
+  build     -seed -size -tile -out        build the world, persist arrays
+  tracegen  -seed -size -tile -out        simulate the study, save traces
+  serve     -seed -size -tile -addr -k    run the HTTP middleware
+  explore   -seed -size -tile -moves     walk a move script, print tiles
+  render    -seed -size -tile -level -out render a zoom level to PNG
+  bench     -seed -size -tile [-list] [names...|all]  run experiments`)
+}
+
+// worldFlags are the dataset knobs shared by all subcommands.
+type worldFlags struct {
+	seed int64
+	size int
+	tile int
+}
+
+func addWorldFlags(fs *flag.FlagSet) *worldFlags {
+	wf := &worldFlags{}
+	fs.Int64Var(&wf.seed, "seed", 42, "world and study seed")
+	fs.IntVar(&wf.size, "size", 512, "raw grid cells per side")
+	fs.IntVar(&wf.tile, "tile", 16, "tile cells per side")
+	return wf
+}
+
+func (wf *worldFlags) build() (*forecache.Dataset, error) {
+	fmt.Fprintf(os.Stderr, "building world: seed=%d size=%d tile=%d...\n", wf.seed, wf.size, wf.tile)
+	start := time.Now()
+	ds, err := forecache.BuildWorld(forecache.WorldConfig{
+		Seed: wf.seed, Size: wf.size, TileSize: wf.tile,
+	})
+	if err != nil {
+		return nil, err
+	}
+	fmt.Fprintf(os.Stderr, "world ready: %d levels, %d tiles, %.1f MB of tiles (%s)\n",
+		ds.Pyramid.NumLevels(), ds.Pyramid.NumTiles(),
+		float64(ds.Pyramid.MemBytes())/1e6, time.Since(start).Round(time.Millisecond))
+	return ds, nil
+}
+
+func cmdBuild(args []string) error {
+	fs := flag.NewFlagSet("build", flag.ExitOnError)
+	wf := addWorldFlags(fs)
+	out := fs.String("out", "data", "output directory for array files")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	ds, err := wf.build()
+	if err != nil {
+		return err
+	}
+	if err := ds.DB.SaveDir(*out); err != nil {
+		return err
+	}
+	fmt.Printf("arrays saved under %s: %s\n", *out, strings.Join(ds.DB.Names(), ", "))
+	return nil
+}
+
+func cmdTracegen(args []string) error {
+	fs := flag.NewFlagSet("tracegen", flag.ExitOnError)
+	wf := addWorldFlags(fs)
+	out := fs.String("out", "traces", "output directory for trace JSON files")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	ds, err := wf.build()
+	if err != nil {
+		return err
+	}
+	traces := ds.SimulateStudy(wf.seed)
+	if err := trace.SaveDir(*out, traces); err != nil {
+		return err
+	}
+	total := 0
+	for _, t := range traces {
+		total += len(t.Requests)
+	}
+	fmt.Printf("%d traces (%d requests) saved under %s\n", len(traces), total, *out)
+	return nil
+}
+
+func cmdServe(args []string) error {
+	fs := flag.NewFlagSet("serve", flag.ExitOnError)
+	wf := addWorldFlags(fs)
+	addr := fs.String("addr", ":8080", "listen address")
+	k := fs.Int("k", 5, "prefetch budget in tiles")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	ds, err := wf.build()
+	if err != nil {
+		return err
+	}
+	traces := ds.SimulateStudy(wf.seed)
+	srv := ds.NewServer(traces, forecache.MiddlewareConfig{K: *k})
+	fmt.Printf("serving tiles on %s (GET /meta, /tile?level=&y=&x=, /stats; POST /reset)\n", *addr)
+	return http.ListenAndServe(*addr, srv)
+}
+
+func cmdExplore(args []string) error {
+	fs := flag.NewFlagSet("explore", flag.ExitOnError)
+	wf := addWorldFlags(fs)
+	moves := fs.String("moves", "in-nw,in-se,right,down,out", "comma-separated move script")
+	k := fs.Int("k", 5, "prefetch budget in tiles")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	ds, err := wf.build()
+	if err != nil {
+		return err
+	}
+	traces := ds.SimulateStudy(wf.seed)
+	mw, err := ds.NewMiddleware(traces, forecache.MiddlewareConfig{K: *k})
+	if err != nil {
+		return err
+	}
+	cur := forecache.Coord{}
+	resp, err := mw.Request(cur)
+	if err != nil {
+		return err
+	}
+	printTile(ds, resp, cur)
+	for _, name := range strings.Split(*moves, ",") {
+		mv, err := trace.ParseMove(strings.TrimSpace(name))
+		if err != nil {
+			return err
+		}
+		next := trace.Apply(cur, mv)
+		if !ds.Pyramid.Contains(next) {
+			fmt.Printf("move %s would leave the dataset; skipping\n", mv)
+			continue
+		}
+		cur = next
+		resp, err = mw.Request(cur)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("\nmove: %s\n", mv)
+		printTile(ds, resp, cur)
+	}
+	st := mw.CacheStats()
+	fmt.Printf("\nsession stats: %d hits, %d misses, hit rate %.0f%%\n",
+		st.Hits, st.Misses, st.HitRate()*100)
+	return nil
+}
+
+// printTile renders a tile as an ASCII heatmap (NDSI: '#' = snow, '.' =
+// bare, '~' = ocean/empty).
+func printTile(ds *forecache.Dataset, resp *forecache.Response, c forecache.Coord) {
+	status := "MISS"
+	if resp.Hit {
+		status = "HIT"
+	}
+	fmt.Printf("tile %v  [%s, %s, phase %s]\n", c, status,
+		resp.Latency.Round(time.Millisecond), resp.Phase)
+	grid, err := resp.Tile.Grid(ds.Attr)
+	if err != nil {
+		fmt.Println(" ", err)
+		return
+	}
+	size := resp.Tile.Size
+	for y := 0; y < size; y += 1 {
+		var b strings.Builder
+		for x := 0; x < size; x++ {
+			v := grid[y*size+x]
+			switch {
+			case math.IsNaN(v):
+				b.WriteByte('~')
+			case v > 0.4:
+				b.WriteByte('#')
+			case v > 0:
+				b.WriteByte('+')
+			case v > -0.2:
+				b.WriteByte('.')
+			default:
+				b.WriteByte('~')
+			}
+		}
+		fmt.Println(" ", b.String())
+	}
+}
+
+func cmdRender(args []string) error {
+	fs := flag.NewFlagSet("render", flag.ExitOnError)
+	wf := addWorldFlags(fs)
+	level := fs.Int("level", 2, "zoom level to render")
+	scale := fs.Int("scale", 2, "pixels per cell")
+	out := fs.String("out", "world.png", "output PNG path")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	ds, err := wf.build()
+	if err != nil {
+		return err
+	}
+	img, err := render.Level(ds.Pyramid, *level, render.Options{
+		Attr: ds.Attr, Min: -1, Max: 1, Scale: *scale,
+	})
+	if err != nil {
+		return err
+	}
+	if err := render.SavePNG(*out, img); err != nil {
+		return err
+	}
+	fmt.Printf("level %d rendered to %s (%dx%d px)\n",
+		*level, *out, img.Bounds().Dx(), img.Bounds().Dy())
+	return nil
+}
+
+func cmdBench(args []string) error {
+	fs := flag.NewFlagSet("bench", flag.ExitOnError)
+	wf := addWorldFlags(fs)
+	list := fs.Bool("list", false, "list available experiments")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *list {
+		for _, e := range eval.Experiments() {
+			fmt.Printf("  %-16s %s\n", e.Name, e.Paper)
+		}
+		return nil
+	}
+	names := fs.Args()
+	if len(names) == 0 || (len(names) == 1 && names[0] == "all") {
+		names = nil
+		for _, e := range eval.Experiments() {
+			names = append(names, e.Name)
+		}
+	}
+	ds, err := wf.build()
+	if err != nil {
+		return err
+	}
+	traces := ds.SimulateStudy(wf.seed)
+	h := ds.Harness(traces)
+	for _, name := range names {
+		e, ok := eval.Lookup(name)
+		if !ok {
+			return fmt.Errorf("unknown experiment %q (try -list)", name)
+		}
+		fmt.Printf("\n=== %s (%s) ===\n", e.Name, e.Paper)
+		start := time.Now()
+		if err := e.Run(os.Stdout, h); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "[%s took %s]\n", e.Name, time.Since(start).Round(time.Millisecond))
+	}
+	return nil
+}

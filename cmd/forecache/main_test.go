@@ -1,0 +1,78 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// The subcommands are exercised with tiny worlds so CLI plumbing (flag
+// parsing, output files, error paths) stays covered by `go test ./...`.
+
+func tinyWorld(extra ...string) []string {
+	return append([]string{"-seed", "3", "-size", "128", "-tile", "16"}, extra...)
+}
+
+func TestCmdBuildWritesArrays(t *testing.T) {
+	dir := t.TempDir()
+	if err := cmdBuild(tinyWorld("-out", dir)); err != nil {
+		t.Fatalf("build: %v", err)
+	}
+	matches, err := filepath.Glob(filepath.Join(dir, "*.fcar"))
+	if err != nil || len(matches) == 0 {
+		t.Errorf("no array files written: %v %v", matches, err)
+	}
+}
+
+func TestCmdTracegenWritesTraces(t *testing.T) {
+	dir := t.TempDir()
+	if err := cmdTracegen(tinyWorld("-out", dir)); err != nil {
+		t.Fatalf("tracegen: %v", err)
+	}
+	matches, err := filepath.Glob(filepath.Join(dir, "*.json"))
+	if err != nil || len(matches) != 54 {
+		t.Errorf("trace files = %d, want 54 (%v)", len(matches), err)
+	}
+}
+
+func TestCmdRenderWritesPNG(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "w.png")
+	if err := cmdRender(tinyWorld("-level", "2", "-out", out)); err != nil {
+		t.Fatalf("render: %v", err)
+	}
+	info, err := os.Stat(out)
+	if err != nil || info.Size() == 0 {
+		t.Errorf("png missing or empty: %v", err)
+	}
+}
+
+func TestCmdRenderBadLevel(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "w.png")
+	if err := cmdRender(tinyWorld("-level", "99", "-out", out)); err == nil {
+		t.Error("out-of-range level should fail")
+	}
+}
+
+func TestCmdExploreScript(t *testing.T) {
+	if err := cmdExplore(tinyWorld("-moves", "in-nw,in-se,out")); err != nil {
+		t.Fatalf("explore: %v", err)
+	}
+	if err := cmdExplore(tinyWorld("-moves", "sideways")); err == nil {
+		t.Error("unknown move should fail")
+	}
+}
+
+func TestCmdBenchListAndUnknown(t *testing.T) {
+	if err := cmdBench([]string{"-list"}); err != nil {
+		t.Fatalf("bench -list: %v", err)
+	}
+	if err := cmdBench(tinyWorld("no-such-experiment")); err == nil {
+		t.Error("unknown experiment should fail")
+	}
+}
+
+func TestCmdBenchRunsCheapExperiment(t *testing.T) {
+	if err := cmdBench(tinyWorld("fig9")); err != nil {
+		t.Fatalf("bench fig9: %v", err)
+	}
+}

@@ -1,0 +1,33 @@
+// Package forecache is a from-scratch Go reproduction of ForeCache
+// (Battle, Chang, Stonebraker: "Dynamic Prefetching of Data Tiles for
+// Interactive Visualization", SIGMOD 2016): a middleware layer between a
+// tile-based visualization client and an array DBMS that prefetches data
+// tiles with a two-level prediction engine.
+//
+// The package is a facade over the building blocks in internal/:
+//
+//   - an array engine standing in for SciDB (internal/array), with a small
+//     AFL-style query language and the paper's NDSI pipeline;
+//   - a synthetic MODIS-like satellite dataset (internal/modis);
+//   - the tile pyramid data model (internal/tile) and tile signatures
+//     including SIFT bag-of-visual-words (internal/sig);
+//   - the two-level prediction engine (internal/core) over an SVM phase
+//     classifier (internal/svm, internal/phase), a Kneser–Ney Markov chain
+//     (internal/markov) and the recommenders (internal/recommend);
+//   - the middleware cache (internal/cache), the latency-modeling DBMS
+//     adapter (internal/backend) and the HTTP boundary (internal/server,
+//     internal/client);
+//   - a user-study simulator (internal/study) and the experiment harness
+//     reproducing every table and figure of the paper (internal/eval).
+//
+// Quickstart:
+//
+//	ds, _ := forecache.BuildWorld(forecache.WorldConfig{Seed: 1, Size: 512, TileSize: 16})
+//	traces := ds.SimulateStudy(7)
+//	mw, _ := ds.NewMiddleware(traces, forecache.MiddlewareConfig{K: 5})
+//	resp, _ := mw.Request(forecache.Coord{})            // root tile: a miss
+//	resp, _ = mw.Request(forecache.Coord{Level: 1})     // often prefetched
+//
+// See examples/ for runnable programs and cmd/forecache for the CLI that
+// regenerates the paper's experiments.
+package forecache

@@ -1,0 +1,82 @@
+// Multiuser: several analysts browsing the same dataset through one
+// middleware server over HTTP, each with an isolated session, history,
+// prediction engine and cache — the deployment shape of Figure 5.
+package main
+
+import (
+	"fmt"
+	"log"
+	"net/http/httptest"
+	"sync"
+
+	"forecache"
+	"forecache/internal/client"
+	"forecache/internal/tile"
+)
+
+func main() {
+	ds, err := forecache.BuildWorld(forecache.WorldConfig{Seed: 7, Size: 256, TileSize: 16})
+	if err != nil {
+		log.Fatal(err)
+	}
+	traces := ds.SimulateStudy(7)
+	srv := ds.NewServer(traces, forecache.MiddlewareConfig{K: 5})
+
+	// An in-process HTTP server keeps the example self-contained; swap in
+	// http.ListenAndServe(addr, srv) for a real deployment.
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+	fmt.Println("middleware listening at", ts.URL)
+
+	// Three analysts explore different parts of the world concurrently.
+	sessions := []struct {
+		name string
+		quad tile.Quadrant
+	}{
+		{"alice", tile.NW}, {"bob", tile.SE}, {"carol", tile.SW},
+	}
+	var wg sync.WaitGroup
+	results := make([]string, len(sessions))
+	for i, s := range sessions {
+		wg.Add(1)
+		go func(i int, name string, quad tile.Quadrant) {
+			defer wg.Done()
+			c := client.New(ts.URL, name)
+			meta, err := c.Meta()
+			if err != nil {
+				log.Fatal(err)
+			}
+			cur := forecache.Coord{}
+			hits, total := 0, 0
+			req := func(next forecache.Coord) {
+				_, info, err := c.Tile(next)
+				if err != nil {
+					log.Fatalf("%s: %v", name, err)
+				}
+				total++
+				if info.Hit {
+					hits++
+				}
+				cur = next
+			}
+			req(cur)
+			for cur.Level < meta.Levels-1 {
+				req(cur.Child(quad))
+			}
+			// Pan around at the detail level, staying inside the grid.
+			side := 1 << cur.Level
+			for _, d := range [][2]int{{0, 1}, {1, 0}, {0, -1}, {-1, 0}} {
+				next := cur.Pan(d[0], d[1])
+				if next.Y >= 0 && next.X >= 0 && next.Y < side && next.X < side {
+					req(next)
+				}
+			}
+			results[i] = fmt.Sprintf("%-6s browsed %2d tiles, %2d served from cache", name, total, hits)
+		}(i, s.name, s.quad)
+	}
+	wg.Wait()
+	for _, r := range results {
+		fmt.Println(r)
+	}
+	fmt.Printf("server tracked %d isolated sessions\n", srv.Sessions())
+}

@@ -1,0 +1,108 @@
+// Satellite: the paper's full MODIS snow-cover scenario end to end —
+// synthesize the world, simulate the 18-user study, evaluate the two-level
+// prediction engine against the Momentum baseline, and print the latency
+// translation (§5.5), plus an ASCII overview map and a Figure 9-style
+// zoom sawtooth.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+	"os"
+	"strings"
+
+	"forecache"
+	"forecache/internal/backend"
+	"forecache/internal/eval"
+	"forecache/internal/trace"
+)
+
+func main() {
+	ds, err := forecache.BuildWorld(forecache.WorldConfig{Seed: 42, Size: 512, TileSize: 16})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("NDSI world overview (level 2; '#' snow, '+' some snow, '.' land, '~' ocean):")
+	printOverview(ds)
+
+	traces := ds.SimulateStudy(42)
+	fmt.Printf("\nsimulated study: %d traces\n", len(traces))
+
+	// A zoom-level sawtooth like Figure 9.
+	fmt.Println("\none user's zoom-level profile (Figure 9 shape):")
+	eval.RenderFig9(os.Stdout, pickSawtooth(traces), ds.Pyramid.NumLevels())
+
+	// Accuracy: the full engine vs the Momentum baseline at the paper's
+	// headline fetch size k=5, leave-one-user-out.
+	h := ds.Harness(traces)
+	ks := []int{5}
+	hybrid, err := h.EvalHybridLOO(eval.HybridSpec{}, ks)
+	if err != nil {
+		log.Fatal(err)
+	}
+	momentum, err := h.EvalModelLOO("momentum", eval.MomentumFactory(), ks)
+	if err != nil {
+		log.Fatal(err)
+	}
+	lm := backend.DefaultLatency()
+	hAcc := hybrid.Get("hybrid", 5, trace.PhaseUnknown).Accuracy()
+	mAcc := momentum.Get("momentum", 5, trace.PhaseUnknown).Accuracy()
+	fmt.Printf("\nprediction accuracy at k=5 (LOO-CV): hybrid %.1f%%, momentum %.1f%%\n",
+		hAcc*100, mAcc*100)
+	fmt.Printf("implied avg response time:            hybrid %v, momentum %v, no prefetch %v\n",
+		eval.Latency(hAcc, lm).Round(1e6), eval.Latency(mAcc, lm).Round(1e6), lm.Miss)
+}
+
+func printOverview(ds *forecache.Dataset) {
+	const level = 2
+	side := ds.Pyramid.Side(level)
+	size := ds.Pyramid.TileSize()
+	for ty := 0; ty < side; ty++ {
+		for row := 0; row < size; row += 2 { // halve rows for terminal aspect
+			var b strings.Builder
+			for tx := 0; tx < side; tx++ {
+				t, err := ds.Pyramid.Tile(forecache.Coord{Level: level, Y: ty, X: tx})
+				if err != nil {
+					continue
+				}
+				g, _ := t.Grid(ds.Attr)
+				for col := 0; col < size; col++ {
+					v := g[row*size+col]
+					switch {
+					case math.IsNaN(v):
+						b.WriteByte(' ')
+					case v > 0.4:
+						b.WriteByte('#')
+					case v > 0:
+						b.WriteByte('+')
+					case v > -0.2:
+						b.WriteByte('.')
+					default:
+						b.WriteByte('~')
+					}
+				}
+			}
+			fmt.Println(b.String())
+		}
+	}
+}
+
+func pickSawtooth(traces []*trace.Trace) *trace.Trace {
+	best := traces[0]
+	bestChanges := -1
+	for _, tr := range traces {
+		changes, dir := 0, 0
+		for i := 1; i < len(tr.Requests); i++ {
+			d := tr.Requests[i].Coord.Level - tr.Requests[i-1].Coord.Level
+			if d != 0 && ((d > 0) != (dir > 0) || dir == 0) {
+				changes++
+				dir = d
+			}
+		}
+		if changes > bestChanges {
+			best, bestChanges = tr, changes
+		}
+	}
+	return best
+}

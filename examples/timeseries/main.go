@@ -1,0 +1,156 @@
+// Timeseries: the paper's heart-rate monitoring scenario (Figure 2c).
+// A patient's beats-per-minute stream is laid out as a 2-D array (day x
+// minute-of-day), tiled into a zoom pyramid through the generic pipeline,
+// and browsed through the middleware: zoom out for weekly rhythm, zoom in
+// to individual episodes, pan along the time axis with prefetching.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+
+	"forecache"
+	"forecache/internal/array"
+	"forecache/internal/sig"
+	"forecache/internal/trace"
+)
+
+const (
+	days    = 128
+	minutes = 512 // 512 sampled minutes per day for a power-of-two grid
+)
+
+func main() {
+	hr := buildHeartRateArray()
+	cfg := sig.DefaultConfig("bpm")
+	cfg.ValueMin, cfg.ValueMax = 30, 190
+	ds, err := forecache.BuildPyramid(hr, 16, cfg, 40)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("heart-rate pyramid: %d levels, %d tiles over %d days\n",
+		ds.Pyramid.NumLevels(), ds.Pyramid.NumTiles(), days)
+
+	// Train the middleware on synthetic browsing sessions: clinicians
+	// repeatedly zoom into episodes and pan along the time axis.
+	traces := clinicianTraces(ds)
+	mw, err := ds.NewMiddleware(traces, forecache.MiddlewareConfig{K: 5})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Browse: overview -> zoom toward the tachycardia episode -> pan right
+	// along time (the exact pattern the AB model should learn). The 128
+	// recorded days occupy the top band of the padded square pyramid, so
+	// descents stay in the northern quadrants.
+	cur := forecache.Coord{}
+	walk := []trace.Move{
+		trace.ZoomInNE, trace.ZoomInNW, trace.ZoomInNE,
+		trace.PanRight, trace.PanRight, trace.PanRight, trace.PanRight,
+	}
+	if _, err := mw.Request(cur); err != nil {
+		log.Fatal(err)
+	}
+	hits := 0
+	for _, mv := range walk {
+		next := trace.Apply(cur, mv)
+		if !ds.Pyramid.Contains(next) {
+			continue
+		}
+		cur = next
+		resp, err := mw.Request(cur)
+		if err != nil {
+			log.Fatal(err)
+		}
+		mark := "miss"
+		if resp.Hit {
+			mark = "HIT"
+			hits++
+		}
+		mean, _, _, maxv, _, _ := resp.Tile.Stats("bpm")
+		fmt.Printf("%-9s -> %-8v %-4s mean %5.1f bpm, peak %5.1f bpm (%v)\n",
+			mv, cur, mark, mean, maxv, resp.Latency)
+	}
+	st := mw.CacheStats()
+	fmt.Printf("\npan-along-time browsing: %.0f%% of requests served from the prefetch cache\n",
+		st.HitRate()*100)
+}
+
+// buildHeartRateArray synthesizes days x minutes of bpm with circadian
+// rhythm, daily exercise bouts, and a multi-day tachycardia episode.
+func buildHeartRateArray() *array.Array {
+	a := array.NewZero(array.Schema{
+		Name:  "HEARTRATE",
+		Attrs: []string{"bpm"},
+		Dims: [2]array.Dim{
+			{Name: "day", Size: days},
+			{Name: "minute", Size: minutes},
+		},
+	})
+	data, _ := a.AttrData("bpm")
+	for d := 0; d < days; d++ {
+		for m := 0; m < minutes; m++ {
+			tod := float64(m) / minutes // 0..1 through the day
+			// Circadian baseline: ~52 bpm at night, ~72 midday.
+			base := 62 - 10*math.Cos(2*math.Pi*tod)
+			// Evening exercise bout on most days.
+			if tod > 0.72 && tod < 0.78 && d%7 != 6 {
+				base += 65 * math.Sin((tod-0.72)/0.06*math.Pi)
+			}
+			// A tachycardia episode around days 88-96, late in the day:
+			// this is the anomaly a clinician drills into.
+			if d >= 88 && d <= 96 && tod > 0.55 && tod < 0.7 {
+				base += 45
+			}
+			// Measurement jitter, deterministic per cell.
+			j := float64((d*7919+m*104729)%97)/97 - 0.5
+			data[d*minutes+m] = base + 4*j
+		}
+	}
+	return a
+}
+
+// clinicianTraces synthesizes training sessions: dive into a day region,
+// pan along time, climb back out.
+func clinicianTraces(ds *forecache.Dataset) []*trace.Trace {
+	var out []*trace.Trace
+	quads := []trace.Move{trace.ZoomInNW, trace.ZoomInNE} // data sits in the top band
+	for u := 0; u < 8; u++ {
+		tr := &trace.Trace{User: u, Task: 1}
+		cur := forecache.Coord{}
+		push := func(mv trace.Move) {
+			if mv != trace.None {
+				cur = trace.Apply(cur, mv)
+			}
+			tr.Requests = append(tr.Requests, trace.Request{Coord: cur, Move: mv, Phase: trace.Navigation})
+		}
+		push(trace.None)
+		for i := 0; i < ds.Pyramid.NumLevels()-1; i++ {
+			push(quads[(u+i)%len(quads)])
+		}
+		for i := 0; i < 4; i++ {
+			if ds.Pyramid.Contains(trace.Apply(cur, trace.PanRight)) {
+				push(trace.PanRight)
+			}
+		}
+		push(trace.ZoomOut)
+		push(trace.ZoomOut)
+		out = append(out, tr)
+	}
+	// Give the traces phase labels so the classifier can train.
+	for _, tr := range out {
+		for i := range tr.Requests {
+			levels := ds.Pyramid.NumLevels()
+			switch {
+			case tr.Requests[i].Coord.Level <= levels/3:
+				tr.Requests[i].Phase = trace.Foraging
+			case tr.Requests[i].Move.IsPan():
+				tr.Requests[i].Phase = trace.Sensemaking
+			default:
+				tr.Requests[i].Phase = trace.Navigation
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,220 @@
+package forecache
+
+import (
+	"fmt"
+
+	"forecache/internal/array"
+	"forecache/internal/backend"
+	"forecache/internal/core"
+	"forecache/internal/eval"
+	"forecache/internal/modis"
+	"forecache/internal/phase"
+	"forecache/internal/recommend"
+	"forecache/internal/server"
+	"forecache/internal/sig"
+	"forecache/internal/study"
+	"forecache/internal/tile"
+	"forecache/internal/trace"
+)
+
+// Re-exported core types so downstream code can use the facade alone.
+type (
+	// Coord addresses one data tile (zoom level, row, column).
+	Coord = tile.Coord
+	// Tile is one data tile with its signature metadata.
+	Tile = tile.Tile
+	// Pyramid is the materialized set of zoom levels and tiles.
+	Pyramid = tile.Pyramid
+	// Trace is one recorded user session.
+	Trace = trace.Trace
+	// Request is one tile request within a trace.
+	Request = trace.Request
+	// Move is one interface action (pan / zoom in / zoom out).
+	Move = trace.Move
+	// Phase is the user's analysis phase.
+	Phase = trace.Phase
+	// Engine is a per-session middleware instance (prediction engine +
+	// cache manager + DBMS adapter).
+	Engine = core.Engine
+	// Response reports one served tile request.
+	Response = core.Response
+	// LatencyModel holds the hit/miss service times.
+	LatencyModel = backend.LatencyModel
+	// Harness runs the paper's experiments.
+	Harness = eval.Harness
+	// Server is the HTTP middleware front door.
+	Server = server.Server
+)
+
+// Dataset bundles a built world: the array database, the NDSI array, the
+// tile pyramid with signatures, and the signature computer.
+type Dataset struct {
+	DB         *array.Database
+	NDSI       *array.Array
+	Pyramid    *tile.Pyramid
+	Signatures *sig.Computer
+	Attr       string
+}
+
+// WorldConfig sizes the synthetic MODIS world.
+type WorldConfig struct {
+	// Seed makes the world reproducible.
+	Seed int64
+	// Size is the raw grid resolution (cells per side). Default 512.
+	Size int
+	// TileSize is the per-side cell count of every tile. Default 16.
+	TileSize int
+	// CodebookTiles is how many tiles train the SIFT visual-word codebook.
+	// Default 80.
+	CodebookTiles int
+}
+
+func (c WorldConfig) withDefaults() WorldConfig {
+	if c.Size <= 0 {
+		c.Size = 512
+	}
+	if c.TileSize <= 0 {
+		c.TileSize = 16
+	}
+	if c.CodebookTiles <= 0 {
+		c.CodebookTiles = 80
+	}
+	return c
+}
+
+// BuildWorld runs the full dataset pipeline of paper §2.3 and §5.1:
+// synthesize the MODIS bands, compute NDSI through the array engine
+// (Query 1), build the zoom-level pyramid, train the signature codebook on
+// the pyramid's own tiles, and attach all four signatures to every tile.
+func BuildWorld(cfg WorldConfig) (*Dataset, error) {
+	cfg = cfg.withDefaults()
+	db := array.NewDatabase()
+	ndsi, err := modis.BuildWorld(db, cfg.Seed, cfg.Size)
+	if err != nil {
+		return nil, fmt.Errorf("forecache: build world: %w", err)
+	}
+	return buildDataset(db, ndsi, "ndsi_avg", cfg.TileSize, cfg.CodebookTiles, cfg.Seed)
+}
+
+// BuildPyramid wraps any 2-D array into a signed tile pyramid: the route
+// for non-MODIS datasets (e.g. the time-series example). attr selects the
+// attribute signatures describe; sigCfg.Attr is overridden to match.
+func BuildPyramid(a *array.Array, tileSize int, sigCfg sig.Config, codebookTiles int) (*Dataset, error) {
+	db := array.NewDatabase()
+	db.Store(a.Schema().Name, a)
+	if codebookTiles <= 0 {
+		codebookTiles = 80
+	}
+	return buildDatasetWith(db, a, sigCfg, tileSize, codebookTiles)
+}
+
+func buildDataset(db *array.Database, a *array.Array, attr string, tileSize, codebookTiles int, seed int64) (*Dataset, error) {
+	sigCfg := sig.DefaultConfig(attr)
+	sigCfg.Seed = seed
+	return buildDatasetWith(db, a, sigCfg, tileSize, codebookTiles)
+}
+
+func buildDatasetWith(db *array.Database, a *array.Array, sigCfg sig.Config, tileSize, codebookTiles int) (*Dataset, error) {
+	pyr, err := tile.Build(a, tile.Params{TileSize: tileSize, Agg: array.AggAvg})
+	if err != nil {
+		return nil, fmt.Errorf("forecache: build pyramid: %w", err)
+	}
+	comp := sig.NewComputer(sigCfg)
+	comp.TrainCodebook(pyr.SampleTiles(codebookTiles))
+	pyr.ComputeMetadata(comp.Compute)
+	return &Dataset{DB: db, NDSI: a, Pyramid: pyr, Signatures: comp, Attr: sigCfg.Attr}, nil
+}
+
+// SimulateStudy reproduces the paper's 18-user, 3-task study over this
+// dataset, returning 54 ground-truth-labeled traces (§5.3).
+func (d *Dataset) SimulateStudy(seed int64) []*trace.Trace {
+	return study.NewSimulator(d.Pyramid, d.Attr).RunStudy(seed)
+}
+
+// Harness returns an experiment harness over the dataset and traces.
+func (d *Dataset) Harness(traces []*trace.Trace) *eval.Harness {
+	return &eval.Harness{Pyr: d.Pyramid, Attr: d.Attr, Traces: traces}
+}
+
+// MiddlewareConfig assembles a production middleware engine.
+type MiddlewareConfig struct {
+	// K is the prefetch budget in tiles. Default 5 (the paper's headline k).
+	K int
+	// D is the prediction distance in moves. Default 1.
+	D int
+	// HistoryLen is the session history window. Default 3.
+	HistoryLen int
+	// ABOrder is the Markov chain order. Default 3 (the paper's best).
+	ABOrder int
+	// SBSignatures restricts the signature model. Default SIFT only.
+	SBSignatures []string
+	// Latency overrides the hit/miss service times. Default: the paper's
+	// measured 19.5 ms / 984 ms.
+	Latency LatencyModel
+	// Clock accounts simulated latency; nil disables accounting.
+	Clock backend.Clock
+	// MaxClassifierRequests caps SVM training size. Default 800.
+	MaxClassifierRequests int
+}
+
+func (c MiddlewareConfig) withDefaults() MiddlewareConfig {
+	if c.K <= 0 {
+		c.K = 5
+	}
+	if c.D <= 0 {
+		c.D = 1
+	}
+	if c.HistoryLen <= 0 {
+		c.HistoryLen = 3
+	}
+	if c.ABOrder <= 0 {
+		c.ABOrder = 3
+	}
+	if len(c.SBSignatures) == 0 {
+		c.SBSignatures = []string{sig.NameSIFT}
+	}
+	if c.Latency == (LatencyModel{}) {
+		c.Latency = backend.DefaultLatency()
+	}
+	if c.MaxClassifierRequests <= 0 {
+		c.MaxClassifierRequests = 800
+	}
+	return c
+}
+
+// NewMiddleware builds the paper's full two-level middleware for one
+// session: phase classifier and Markov chain trained on the given traces,
+// SIFT-based SB model over the dataset's signatures, hybrid allocation
+// policy, cache manager and DBMS adapter.
+func (d *Dataset) NewMiddleware(train []*trace.Trace, cfg MiddlewareConfig) (*core.Engine, error) {
+	cfg = cfg.withDefaults()
+	ab, err := recommend.NewAB(cfg.ABOrder, train)
+	if err != nil {
+		return nil, err
+	}
+	sb := recommend.NewSB(d.Pyramid, recommend.WithSignatures(cfg.SBSignatures...))
+	reqs := phase.Requests(train)
+	if len(reqs) > cfg.MaxClassifierRequests {
+		reqs = reqs[:cfg.MaxClassifierRequests]
+	}
+	cls, err := phase.Train(reqs, phase.TrainConfig{})
+	if err != nil {
+		return nil, fmt.Errorf("forecache: train phase classifier: %w", err)
+	}
+	db := backend.NewDBMS(d.Pyramid, cfg.Latency, cfg.Clock)
+	return core.NewEngine(db, cls, core.NewHybridPolicy(ab.Name(), sb.Name()),
+		[]recommend.Model{ab, sb}, core.Config{K: cfg.K, D: cfg.D, HistoryLen: cfg.HistoryLen})
+}
+
+// NewServer wraps the dataset in an HTTP middleware server; each session
+// gets its own freshly assembled engine.
+func (d *Dataset) NewServer(train []*trace.Trace, cfg MiddlewareConfig) *server.Server {
+	meta := server.Meta{
+		Levels:   d.Pyramid.NumLevels(),
+		TileSize: d.Pyramid.TileSize(),
+		Attrs:    d.Pyramid.Attrs(),
+	}
+	return server.New(meta, func() (*core.Engine, error) {
+		return d.NewMiddleware(train, cfg)
+	})
+}

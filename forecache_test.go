@@ -1,0 +1,151 @@
+package forecache
+
+import (
+	"sync"
+	"testing"
+
+	"forecache/internal/array"
+	"forecache/internal/sig"
+	"forecache/internal/tile"
+)
+
+var (
+	worldOnce sync.Once
+	world     *Dataset
+	worldTr   []*Trace
+)
+
+func testWorld(t testing.TB) (*Dataset, []*Trace) {
+	worldOnce.Do(func() {
+		ds, err := BuildWorld(WorldConfig{Seed: 3, Size: 256, TileSize: 16})
+		if err != nil {
+			t.Fatalf("BuildWorld: %v", err)
+		}
+		world = ds
+		worldTr = ds.SimulateStudy(5)
+	})
+	if world == nil {
+		t.Fatal("world unavailable")
+	}
+	return world, worldTr
+}
+
+func TestBuildWorldPipeline(t *testing.T) {
+	ds, traces := testWorld(t)
+	if ds.Pyramid.NumLevels() != 5 {
+		t.Errorf("levels = %d, want 5 for 256/16", ds.Pyramid.NumLevels())
+	}
+	if !ds.Signatures.CodebookTrained() {
+		t.Error("codebook should be trained")
+	}
+	// Every tile must carry all four signatures.
+	tl, err := ds.Pyramid.Tile(Coord{Level: 2, Y: 1, X: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range sig.AllNames() {
+		if tl.Signatures[name] == nil {
+			t.Errorf("tile missing signature %q", name)
+		}
+	}
+	if len(traces) != 54 {
+		t.Errorf("study traces = %d, want 54", len(traces))
+	}
+	// The NDSI array must be registered in the database.
+	if _, err := ds.DB.Get("NDSI"); err != nil {
+		t.Errorf("NDSI not in database: %v", err)
+	}
+}
+
+func TestNewMiddlewareEndToEnd(t *testing.T) {
+	ds, traces := testWorld(t)
+	mw, err := ds.NewMiddleware(traces, MiddlewareConfig{K: 5})
+	if err != nil {
+		t.Fatalf("NewMiddleware: %v", err)
+	}
+	resp, err := mw.Request(Coord{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Hit {
+		t.Error("cold cache should miss")
+	}
+	if resp.Phase == 0 {
+		t.Error("hybrid middleware should classify the phase")
+	}
+	if len(resp.Prefetched) == 0 {
+		t.Error("middleware should prefetch")
+	}
+	// Walk a short zoom chain; at least one of the following requests
+	// should be served from cache given K=5 covers 5 of at most 9 moves.
+	hits := 0
+	cur := Coord{}
+	for i := 0; i < 3; i++ {
+		cur = cur.Child(tile.NW)
+		r, err := mw.Request(cur)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r.Hit {
+			hits++
+		}
+	}
+	st := mw.CacheStats()
+	if st.Hits != hits || st.Hits+st.Misses != 4 {
+		t.Errorf("stats = %+v, loop hits = %d", st, hits)
+	}
+}
+
+func TestBuildPyramidGenericDataset(t *testing.T) {
+	// A non-MODIS array (heart-rate-like ramp) through the generic route.
+	a := array.NewZero(array.Schema{
+		Name:  "HR",
+		Attrs: []string{"bpm"},
+		Dims:  [2]array.Dim{{Name: "day", Size: 64}, {Name: "minute", Size: 64}},
+	})
+	data, _ := a.AttrData("bpm")
+	for i := range data {
+		data[i] = 60 + float64(i%40)
+	}
+	cfg := sig.DefaultConfig("bpm")
+	cfg.ValueMin, cfg.ValueMax = 40, 160
+	ds, err := BuildPyramid(a, 16, cfg, 20)
+	if err != nil {
+		t.Fatalf("BuildPyramid: %v", err)
+	}
+	if ds.Pyramid.NumLevels() != 3 {
+		t.Errorf("levels = %d, want 3", ds.Pyramid.NumLevels())
+	}
+	if ds.Attr != "bpm" {
+		t.Errorf("attr = %q", ds.Attr)
+	}
+}
+
+func TestHarnessFromDataset(t *testing.T) {
+	ds, traces := testWorld(t)
+	h := ds.Harness(traces)
+	if h.Pyr != ds.Pyramid || len(h.Traces) != len(traces) {
+		t.Error("harness wiring wrong")
+	}
+}
+
+func TestWorldDeterminism(t *testing.T) {
+	a, err := BuildWorld(WorldConfig{Seed: 11, Size: 128, TileSize: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := BuildWorld(WorldConfig{Seed: 11, Size: 128, TileSize: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ta, _ := a.Pyramid.Tile(Coord{Level: 2, Y: 1, X: 2})
+	tb, _ := b.Pyramid.Tile(Coord{Level: 2, Y: 1, X: 2})
+	for name, sa := range ta.Signatures {
+		sb := tb.Signatures[name]
+		for i := range sa {
+			if sa[i] != sb[i] {
+				t.Fatalf("signature %s differs across identical builds", name)
+			}
+		}
+	}
+}

@@ -1,0 +1,410 @@
+package array
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"unicode"
+)
+
+// This file implements a small subset of SciDB's Array Functional Language
+// (AFL), sufficient to express the paper's tile-build pipeline, including
+// Query 1 verbatim:
+//
+//	store(
+//	  apply(
+//	    join(SVIS, SSWIR),
+//	    ndsi,
+//	    ndsi_func(SVIS.reflectance, SSWIR.reflectance)
+//	  ),
+//	  NDSI
+//	)
+//
+// Supported operators:
+//
+//	scan(NAME)                         read a stored array (bare names also scan)
+//	join(expr, expr)                   equi-join on dimensions
+//	apply(expr, attr, udf(args...))    cell-wise UDF producing a new attribute
+//	regrid(expr, j0, j1, agg(attr))    windowed aggregation over every attribute
+//	                                   (agg selects attrs first when given)
+//	subarray(expr, r0, c0, r1, c1)     rectangular slice
+//	project(expr, attr, ...)           keep only the named attributes
+//	store(expr, NAME)                  bind the result in the database
+//
+// UDF argument references may be qualified ("SVIS.reflectance") or bare
+// ("reflectance"); qualification follows SciDB in resolving collisions after
+// a join, where the right-hand array's attributes are stored prefixed.
+
+// Query parses and executes an AFL expression against the database,
+// returning the resulting array (which, for store(...), is also bound).
+func (db *Database) Query(afl string) (*Array, error) {
+	p := &aflParser{src: afl}
+	expr, err := p.parseExpr()
+	if err != nil {
+		return nil, fmt.Errorf("array: parse %q: %w", afl, err)
+	}
+	p.skipSpace()
+	if p.pos != len(p.src) {
+		return nil, fmt.Errorf("array: trailing input at byte %d of %q", p.pos, afl)
+	}
+	return db.eval(expr)
+}
+
+// aflNode is a parsed AFL expression tree node.
+type aflNode struct {
+	op   string // "scan", "join", "apply", "regrid", "subarray", "project", "store"
+	name string // array name (scan/store), attribute name (apply), agg name (regrid)
+	udf  string // UDF name for apply
+	args []string
+	ints []int
+	kids []*aflNode
+}
+
+type aflParser struct {
+	src string
+	pos int
+}
+
+func (p *aflParser) skipSpace() {
+	for p.pos < len(p.src) {
+		r := p.src[p.pos]
+		if r == ' ' || r == '\t' || r == '\n' || r == '\r' {
+			p.pos++
+			continue
+		}
+		break
+	}
+}
+
+func (p *aflParser) peek() byte {
+	if p.pos >= len(p.src) {
+		return 0
+	}
+	return p.src[p.pos]
+}
+
+func (p *aflParser) expect(c byte) error {
+	p.skipSpace()
+	if p.peek() != c {
+		return fmt.Errorf("expected %q at byte %d", string(c), p.pos)
+	}
+	p.pos++
+	return nil
+}
+
+func isIdentRune(r rune) bool {
+	return unicode.IsLetter(r) || unicode.IsDigit(r) || r == '_' || r == '.'
+}
+
+func (p *aflParser) ident() (string, error) {
+	p.skipSpace()
+	start := p.pos
+	for p.pos < len(p.src) && isIdentRune(rune(p.src[p.pos])) {
+		p.pos++
+	}
+	if p.pos == start {
+		return "", fmt.Errorf("expected identifier at byte %d", p.pos)
+	}
+	return p.src[start:p.pos], nil
+}
+
+func (p *aflParser) integer() (int, error) {
+	p.skipSpace()
+	start := p.pos
+	if p.peek() == '-' {
+		p.pos++
+	}
+	for p.pos < len(p.src) && p.src[p.pos] >= '0' && p.src[p.pos] <= '9' {
+		p.pos++
+	}
+	if p.pos == start {
+		return 0, fmt.Errorf("expected integer at byte %d", p.pos)
+	}
+	return strconv.Atoi(p.src[start:p.pos])
+}
+
+// parseExpr parses either an operator call or a bare array name (scan).
+func (p *aflParser) parseExpr() (*aflNode, error) {
+	id, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	p.skipSpace()
+	if p.peek() != '(' {
+		return &aflNode{op: "scan", name: id}, nil // bare name
+	}
+	switch strings.ToLower(id) {
+	case "scan":
+		p.pos++
+		name, err := p.ident()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expect(')'); err != nil {
+			return nil, err
+		}
+		return &aflNode{op: "scan", name: name}, nil
+	case "join":
+		p.pos++
+		left, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expect(','); err != nil {
+			return nil, err
+		}
+		right, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expect(')'); err != nil {
+			return nil, err
+		}
+		return &aflNode{op: "join", kids: []*aflNode{left, right}}, nil
+	case "apply":
+		p.pos++
+		in, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expect(','); err != nil {
+			return nil, err
+		}
+		attr, err := p.ident()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expect(','); err != nil {
+			return nil, err
+		}
+		udf, err := p.ident()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expect('('); err != nil {
+			return nil, err
+		}
+		var args []string
+		for {
+			arg, err := p.ident()
+			if err != nil {
+				return nil, err
+			}
+			args = append(args, arg)
+			p.skipSpace()
+			if p.peek() == ',' {
+				p.pos++
+				continue
+			}
+			break
+		}
+		if err := p.expect(')'); err != nil {
+			return nil, err
+		}
+		if err := p.expect(')'); err != nil {
+			return nil, err
+		}
+		return &aflNode{op: "apply", name: attr, udf: udf, args: args, kids: []*aflNode{in}}, nil
+	case "regrid":
+		p.pos++
+		in, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expect(','); err != nil {
+			return nil, err
+		}
+		j0, err := p.integer()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expect(','); err != nil {
+			return nil, err
+		}
+		j1, err := p.integer()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expect(','); err != nil {
+			return nil, err
+		}
+		agg, err := p.ident()
+		if err != nil {
+			return nil, err
+		}
+		node := &aflNode{op: "regrid", name: agg, ints: []int{j0, j1}, kids: []*aflNode{in}}
+		p.skipSpace()
+		if p.peek() == '(' { // optional agg(attr) form
+			p.pos++
+			attr, err := p.ident()
+			if err != nil {
+				return nil, err
+			}
+			node.args = []string{attr}
+			if err := p.expect(')'); err != nil {
+				return nil, err
+			}
+		}
+		if err := p.expect(')'); err != nil {
+			return nil, err
+		}
+		return node, nil
+	case "subarray":
+		p.pos++
+		in, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		coords := make([]int, 4)
+		for i := range coords {
+			if err := p.expect(','); err != nil {
+				return nil, err
+			}
+			v, err := p.integer()
+			if err != nil {
+				return nil, err
+			}
+			coords[i] = v
+		}
+		if err := p.expect(')'); err != nil {
+			return nil, err
+		}
+		return &aflNode{op: "subarray", ints: coords, kids: []*aflNode{in}}, nil
+	case "project":
+		p.pos++
+		in, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		var attrs []string
+		for {
+			p.skipSpace()
+			if p.peek() != ',' {
+				break
+			}
+			p.pos++
+			attr, err := p.ident()
+			if err != nil {
+				return nil, err
+			}
+			attrs = append(attrs, attr)
+		}
+		if err := p.expect(')'); err != nil {
+			return nil, err
+		}
+		if len(attrs) == 0 {
+			return nil, fmt.Errorf("project needs at least one attribute")
+		}
+		return &aflNode{op: "project", args: attrs, kids: []*aflNode{in}}, nil
+	case "store":
+		p.pos++
+		in, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expect(','); err != nil {
+			return nil, err
+		}
+		name, err := p.ident()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expect(')'); err != nil {
+			return nil, err
+		}
+		return &aflNode{op: "store", name: name, kids: []*aflNode{in}}, nil
+	default:
+		return nil, fmt.Errorf("unknown operator %q", id)
+	}
+}
+
+func (db *Database) eval(n *aflNode) (*Array, error) {
+	switch n.op {
+	case "scan":
+		return db.Get(n.name)
+	case "join":
+		left, err := db.eval(n.kids[0])
+		if err != nil {
+			return nil, err
+		}
+		right, err := db.eval(n.kids[1])
+		if err != nil {
+			return nil, err
+		}
+		return Join(left, right)
+	case "apply":
+		in, err := db.eval(n.kids[0])
+		if err != nil {
+			return nil, err
+		}
+		fn, err := db.UDF(n.udf)
+		if err != nil {
+			return nil, err
+		}
+		attrs := make([]string, len(n.args))
+		for i, ref := range n.args {
+			attrs[i] = resolveAttrRef(in, ref)
+		}
+		return in.Apply(n.name, fn, attrs...)
+	case "regrid":
+		in, err := db.eval(n.kids[0])
+		if err != nil {
+			return nil, err
+		}
+		if len(n.args) == 1 {
+			in, err = in.Project(resolveAttrRef(in, n.args[0]))
+			if err != nil {
+				return nil, err
+			}
+		}
+		agg, err := ParseAgg(n.name)
+		if err != nil {
+			return nil, err
+		}
+		return in.Regrid(n.ints[0], n.ints[1], agg)
+	case "subarray":
+		in, err := db.eval(n.kids[0])
+		if err != nil {
+			return nil, err
+		}
+		return in.Subarray(n.ints[0], n.ints[1], n.ints[2], n.ints[3])
+	case "project":
+		in, err := db.eval(n.kids[0])
+		if err != nil {
+			return nil, err
+		}
+		attrs := make([]string, len(n.args))
+		for i, ref := range n.args {
+			attrs[i] = resolveAttrRef(in, ref)
+		}
+		return in.Project(attrs...)
+	case "store":
+		in, err := db.eval(n.kids[0])
+		if err != nil {
+			return nil, err
+		}
+		db.Store(n.name, in)
+		return db.Get(n.name)
+	}
+	return nil, fmt.Errorf("array: unknown node %q", n.op)
+}
+
+// resolveAttrRef maps an AFL attribute reference to the attribute name that
+// actually exists in the array: "A.x" resolves to "x" if unambiguous, or to
+// "A_x" when a join stored the right-hand array's attribute prefixed.
+func resolveAttrRef(a *Array, ref string) string {
+	if a.Schema().AttrIndex(ref) >= 0 {
+		return ref
+	}
+	if i := strings.IndexByte(ref, '.'); i >= 0 {
+		owner, attr := ref[:i], ref[i+1:]
+		prefixed := owner + "_" + attr
+		if a.Schema().AttrIndex(prefixed) >= 0 {
+			return prefixed
+		}
+		if a.Schema().AttrIndex(attr) >= 0 {
+			return attr
+		}
+	}
+	return ref // let the operator report ErrNoAttr with the original spelling
+}

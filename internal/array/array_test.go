@@ -1,0 +1,594 @@
+package array
+
+import (
+	"bytes"
+	"math"
+	"math/rand"
+	"path/filepath"
+	"testing"
+	"testing/quick"
+)
+
+func mkArray(t *testing.T, name string, rows, cols int, fill func(r, c int) float64) *Array {
+	t.Helper()
+	a := NewZero(Schema{
+		Name:  name,
+		Attrs: []string{"v"},
+		Dims:  [2]Dim{{Name: "lat", Size: rows}, {Name: "lon", Size: cols}},
+	})
+	data, err := a.AttrData("v")
+	if err != nil {
+		t.Fatalf("AttrData: %v", err)
+	}
+	for r := 0; r < rows; r++ {
+		for c := 0; c < cols; c++ {
+			data[r*cols+c] = fill(r, c)
+		}
+	}
+	return a
+}
+
+func TestNewIsAllNaN(t *testing.T) {
+	a := New(Schema{Name: "A", Attrs: []string{"x", "y"}, Dims: [2]Dim{{"r", 3}, {"c", 4}}})
+	for _, attr := range []string{"x", "y"} {
+		for r := 0; r < 3; r++ {
+			for c := 0; c < 4; c++ {
+				v, err := a.Get(attr, r, c)
+				if err != nil {
+					t.Fatalf("Get: %v", err)
+				}
+				if !math.IsNaN(v) {
+					t.Fatalf("cell (%d,%d) of %s = %v, want NaN", r, c, attr, v)
+				}
+			}
+		}
+	}
+}
+
+func TestSchemaString(t *testing.T) {
+	s := Schema{Name: "NDSI", Attrs: []string{"ndsi", "mask"}, Dims: [2]Dim{{"latitude", 8}, {"longitude", 16}}}
+	got := s.String()
+	want := "NDSI<ndsi,mask>[latitude=8,longitude=16]"
+	if got != want {
+		t.Errorf("String() = %q, want %q", got, want)
+	}
+}
+
+func TestGetSetRoundTrip(t *testing.T) {
+	a := New(Schema{Name: "A", Attrs: []string{"v"}, Dims: [2]Dim{{"r", 4}, {"c", 4}}})
+	if err := a.Set("v", 2, 3, 7.5); err != nil {
+		t.Fatalf("Set: %v", err)
+	}
+	v, err := a.Get("v", 2, 3)
+	if err != nil {
+		t.Fatalf("Get: %v", err)
+	}
+	if v != 7.5 {
+		t.Errorf("Get = %v, want 7.5", v)
+	}
+	if _, err := a.Get("missing", 0, 0); err == nil {
+		t.Error("Get on missing attribute should fail")
+	}
+	if err := a.Set("missing", 0, 0, 1); err == nil {
+		t.Error("Set on missing attribute should fail")
+	}
+}
+
+func TestApplyNDSI(t *testing.T) {
+	vis := mkArray(t, "SVIS", 4, 4, func(r, c int) float64 { return float64(r + c + 1) })
+	swir := mkArray(t, "SSWIR", 4, 4, func(r, c int) float64 { return 1 })
+	joined, err := Join(vis, swir)
+	if err != nil {
+		t.Fatalf("Join: %v", err)
+	}
+	ndsi := func(args []float64) float64 { return (args[0] - args[1]) / (args[0] + args[1]) }
+	out, err := joined.Apply("ndsi", ndsi, "v", "SSWIR_v")
+	if err != nil {
+		t.Fatalf("Apply: %v", err)
+	}
+	got, err := out.Get("ndsi", 1, 2)
+	if err != nil {
+		t.Fatalf("Get: %v", err)
+	}
+	want := (4.0 - 1.0) / (4.0 + 1.0)
+	if math.Abs(got-want) > 1e-12 {
+		t.Errorf("ndsi(1,2) = %v, want %v", got, want)
+	}
+}
+
+func TestApplyPropagatesNaN(t *testing.T) {
+	a := mkArray(t, "A", 2, 2, func(r, c int) float64 { return 1 })
+	if err := a.Set("v", 0, 1, math.NaN()); err != nil {
+		t.Fatal(err)
+	}
+	out, err := a.Apply("twice", func(args []float64) float64 { return 2 * args[0] }, "v")
+	if err != nil {
+		t.Fatalf("Apply: %v", err)
+	}
+	v, _ := out.Get("twice", 0, 1)
+	if !math.IsNaN(v) {
+		t.Errorf("empty input cell should stay empty, got %v", v)
+	}
+	v, _ = out.Get("twice", 1, 1)
+	if v != 2 {
+		t.Errorf("valid cell = %v, want 2", v)
+	}
+}
+
+func TestApplyDuplicateAttrFails(t *testing.T) {
+	a := mkArray(t, "A", 2, 2, func(r, c int) float64 { return 1 })
+	if _, err := a.Apply("v", func(args []float64) float64 { return 0 }, "v"); err == nil {
+		t.Error("Apply with an existing output attribute should fail")
+	}
+}
+
+func TestJoinShapeMismatch(t *testing.T) {
+	a := mkArray(t, "A", 2, 2, func(r, c int) float64 { return 1 })
+	b := mkArray(t, "B", 2, 3, func(r, c int) float64 { return 1 })
+	if _, err := Join(a, b); err == nil {
+		t.Error("Join with mismatched shapes should fail")
+	}
+}
+
+func TestJoinDisambiguatesAttrNames(t *testing.T) {
+	a := mkArray(t, "A", 2, 2, func(r, c int) float64 { return 1 })
+	b := mkArray(t, "B", 2, 2, func(r, c int) float64 { return 2 })
+	j, err := Join(a, b)
+	if err != nil {
+		t.Fatalf("Join: %v", err)
+	}
+	if j.Schema().AttrIndex("v") < 0 || j.Schema().AttrIndex("B_v") < 0 {
+		t.Fatalf("join attrs = %v, want [v B_v]", j.Schema().Attrs)
+	}
+	left, _ := j.Get("v", 0, 0)
+	right, _ := j.Get("B_v", 0, 0)
+	if left != 1 || right != 2 {
+		t.Errorf("joined values = %v,%v want 1,2", left, right)
+	}
+}
+
+func TestRegridAvgMatchesPaperFigure3(t *testing.T) {
+	// A 16x16 array regridded with aggregation parameters (2,2) must become
+	// 8x8, each output cell the average of a 2x2 window.
+	a := mkArray(t, "A", 16, 16, func(r, c int) float64 { return float64(r*16 + c) })
+	out, err := a.Regrid(2, 2, AggAvg)
+	if err != nil {
+		t.Fatalf("Regrid: %v", err)
+	}
+	if out.Rows() != 8 || out.Cols() != 8 {
+		t.Fatalf("regrid shape = %dx%d, want 8x8", out.Rows(), out.Cols())
+	}
+	// Window at output (0,0) covers inputs {0,1,16,17} -> mean 8.5.
+	v, _ := out.Get("v", 0, 0)
+	if v != 8.5 {
+		t.Errorf("regrid(0,0) = %v, want 8.5", v)
+	}
+}
+
+func TestRegridAggregates(t *testing.T) {
+	a := mkArray(t, "A", 2, 2, func(r, c int) float64 { return float64(r*2 + c + 1) }) // 1..4
+	cases := []struct {
+		agg  Agg
+		want float64
+	}{
+		{AggAvg, 2.5}, {AggSum, 10}, {AggMin, 1}, {AggMax, 4}, {AggCount, 4},
+	}
+	for _, tc := range cases {
+		out, err := a.Regrid(2, 2, tc.agg)
+		if err != nil {
+			t.Fatalf("Regrid(%v): %v", tc.agg, err)
+		}
+		v, _ := out.Get("v", 0, 0)
+		if v != tc.want {
+			t.Errorf("%v = %v, want %v", tc.agg, v, tc.want)
+		}
+	}
+}
+
+func TestRegridSkipsNaN(t *testing.T) {
+	a := mkArray(t, "A", 2, 2, func(r, c int) float64 { return 4 })
+	if err := a.Set("v", 0, 0, math.NaN()); err != nil {
+		t.Fatal(err)
+	}
+	out, err := a.Regrid(2, 2, AggAvg)
+	if err != nil {
+		t.Fatalf("Regrid: %v", err)
+	}
+	v, _ := out.Get("v", 0, 0)
+	if v != 4 {
+		t.Errorf("avg skipping NaN = %v, want 4", v)
+	}
+	cnt, err := a.Regrid(2, 2, AggCount)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, _ := cnt.Get("v", 0, 0)
+	if c != 3 {
+		t.Errorf("count skipping NaN = %v, want 3", c)
+	}
+}
+
+func TestRegridAllNaNWindow(t *testing.T) {
+	a := New(Schema{Name: "A", Attrs: []string{"v"}, Dims: [2]Dim{{"r", 2}, {"c", 2}}})
+	out, err := a.Regrid(2, 2, AggAvg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, _ := out.Get("v", 0, 0)
+	if !math.IsNaN(v) {
+		t.Errorf("all-empty window avg = %v, want NaN", v)
+	}
+}
+
+func TestRegridRejectsBadIntervals(t *testing.T) {
+	a := mkArray(t, "A", 2, 2, func(r, c int) float64 { return 1 })
+	if _, err := a.Regrid(0, 2, AggAvg); err == nil {
+		t.Error("Regrid(0,2) should fail")
+	}
+}
+
+func TestSubarrayClipsAndPads(t *testing.T) {
+	a := mkArray(t, "A", 4, 4, func(r, c int) float64 { return float64(r*4 + c) })
+	sub, err := a.Subarray(2, 2, 6, 6) // extends past the edge
+	if err != nil {
+		t.Fatalf("Subarray: %v", err)
+	}
+	if sub.Rows() != 4 || sub.Cols() != 4 {
+		t.Fatalf("subarray shape = %dx%d, want 4x4", sub.Rows(), sub.Cols())
+	}
+	v, _ := sub.Get("v", 0, 0)
+	if v != 10 {
+		t.Errorf("sub(0,0) = %v, want 10", v)
+	}
+	v, _ = sub.Get("v", 3, 3)
+	if !math.IsNaN(v) {
+		t.Errorf("out-of-range cell = %v, want NaN padding", v)
+	}
+}
+
+func TestSubarrayEmptyFails(t *testing.T) {
+	a := mkArray(t, "A", 4, 4, func(r, c int) float64 { return 0 })
+	if _, err := a.Subarray(2, 2, 2, 4); err == nil {
+		t.Error("empty subarray should fail")
+	}
+}
+
+func TestProject(t *testing.T) {
+	a := NewZero(Schema{Name: "A", Attrs: []string{"x", "y"}, Dims: [2]Dim{{"r", 2}, {"c", 2}}})
+	p, err := a.Project("y")
+	if err != nil {
+		t.Fatalf("Project: %v", err)
+	}
+	if len(p.Schema().Attrs) != 1 || p.Schema().Attrs[0] != "y" {
+		t.Errorf("projected attrs = %v, want [y]", p.Schema().Attrs)
+	}
+	if _, err := a.Project("z"); err == nil {
+		t.Error("Project on missing attribute should fail")
+	}
+}
+
+func TestAttrStats(t *testing.T) {
+	a := mkArray(t, "A", 2, 2, func(r, c int) float64 { return float64(r*2 + c) }) // 0,1,2,3
+	s, err := a.AttrStats("v")
+	if err != nil {
+		t.Fatalf("AttrStats: %v", err)
+	}
+	if s.Count != 4 || s.Mean != 1.5 || s.Min != 0 || s.Max != 3 {
+		t.Errorf("stats = %+v", s)
+	}
+	wantStd := math.Sqrt(1.25)
+	if math.Abs(s.Stddev-wantStd) > 1e-12 {
+		t.Errorf("stddev = %v, want %v", s.Stddev, wantStd)
+	}
+}
+
+func TestAttrStatsEmpty(t *testing.T) {
+	a := New(Schema{Name: "A", Attrs: []string{"v"}, Dims: [2]Dim{{"r", 2}, {"c", 2}}})
+	s, err := a.AttrStats("v")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Count != 0 || !math.IsNaN(s.Mean) {
+		t.Errorf("empty stats = %+v", s)
+	}
+}
+
+func TestDatabaseStoreGetRemove(t *testing.T) {
+	db := NewDatabase()
+	a := mkArray(t, "A", 2, 2, func(r, c int) float64 { return 1 })
+	db.Store("A", a)
+	got, err := db.Get("A")
+	if err != nil {
+		t.Fatalf("Get: %v", err)
+	}
+	if got.Schema().Name != "A" {
+		t.Errorf("stored name = %q", got.Schema().Name)
+	}
+	if _, err := db.Get("B"); err == nil {
+		t.Error("Get on missing array should fail")
+	}
+	db.Remove("A")
+	if _, err := db.Get("A"); err == nil {
+		t.Error("Get after Remove should fail")
+	}
+}
+
+func TestQueryPaperQuery1(t *testing.T) {
+	// The paper's Query 1: store(apply(join(SVIS,SSWIR), ndsi,
+	// ndsi_func(SVIS.reflectance, SSWIR.reflectance)), NDSI).
+	db := NewDatabase()
+	mk := func(name string, base float64) *Array {
+		a := NewZero(Schema{Name: name, Attrs: []string{"reflectance"},
+			Dims: [2]Dim{{"latitude", 4}, {"longitude", 4}}})
+		data, _ := a.AttrData("reflectance")
+		for i := range data {
+			data[i] = base + float64(i)
+		}
+		return a
+	}
+	db.Store("SVIS", mk("SVIS", 10))
+	db.Store("SSWIR", mk("SSWIR", 2))
+	db.RegisterUDF("ndsi_func", func(args []float64) float64 {
+		return (args[0] - args[1]) / (args[0] + args[1])
+	})
+	out, err := db.Query(`
+		store(
+			apply(
+				join(SVIS, SSWIR),
+				ndsi,
+				ndsi_func(SVIS.reflectance, SSWIR.reflectance)
+			),
+			NDSI
+		)`)
+	if err != nil {
+		t.Fatalf("Query: %v", err)
+	}
+	if out.Schema().AttrIndex("ndsi") < 0 {
+		t.Fatalf("result attrs = %v, want ndsi present", out.Schema().Attrs)
+	}
+	v, _ := out.Get("ndsi", 0, 0)
+	want := (10.0 - 2.0) / (10.0 + 2.0)
+	if math.Abs(v-want) > 1e-12 {
+		t.Errorf("ndsi(0,0) = %v, want %v", v, want)
+	}
+	if _, err := db.Get("NDSI"); err != nil {
+		t.Errorf("store() should bind NDSI: %v", err)
+	}
+}
+
+func TestQueryRegridSubarrayProject(t *testing.T) {
+	db := NewDatabase()
+	db.Store("A", mkArray(t, "A", 8, 8, func(r, c int) float64 { return float64(r*8 + c) }))
+	out, err := db.Query("regrid(A, 2, 2, avg)")
+	if err != nil {
+		t.Fatalf("regrid query: %v", err)
+	}
+	if out.Rows() != 4 || out.Cols() != 4 {
+		t.Fatalf("regrid result %dx%d, want 4x4", out.Rows(), out.Cols())
+	}
+	out, err = db.Query("subarray(A, 0, 0, 2, 3)")
+	if err != nil {
+		t.Fatalf("subarray query: %v", err)
+	}
+	if out.Rows() != 2 || out.Cols() != 3 {
+		t.Fatalf("subarray result %dx%d, want 2x3", out.Rows(), out.Cols())
+	}
+	out, err = db.Query("project(scan(A), v)")
+	if err != nil {
+		t.Fatalf("project query: %v", err)
+	}
+	if len(out.Schema().Attrs) != 1 {
+		t.Fatalf("project attrs = %v", out.Schema().Attrs)
+	}
+}
+
+func TestQueryErrors(t *testing.T) {
+	db := NewDatabase()
+	db.Store("A", mkArray(t, "A", 2, 2, func(r, c int) float64 { return 0 }))
+	for _, q := range []string{
+		"",                     // empty
+		"frobnicate(A)",        // unknown operator
+		"scan(A) extra",        // trailing input
+		"scan(Missing)",        // unknown array
+		"join(A)",              // arity
+		"apply(A, x, nope(v))", // unknown UDF
+		"regrid(A, 2, 2, zzz)", // unknown aggregate
+	} {
+		if _, err := db.Query(q); err == nil {
+			t.Errorf("Query(%q) should fail", q)
+		}
+	}
+}
+
+func TestIORoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	a := NewZero(Schema{Name: "RT", Attrs: []string{"x", "y"},
+		Dims: [2]Dim{{"lat", 37}, {"lon", 61}}}) // deliberately not chunk-aligned
+	for _, attr := range []string{"x", "y"} {
+		data, _ := a.AttrData(attr)
+		for i := range data {
+			if rng.Intn(10) == 0 {
+				data[i] = math.NaN()
+			} else {
+				data[i] = rng.NormFloat64()
+			}
+		}
+	}
+	var buf bytes.Buffer
+	if _, err := a.WriteTo(&buf); err != nil {
+		t.Fatalf("WriteTo: %v", err)
+	}
+	b, err := ReadFrom(&buf)
+	if err != nil {
+		t.Fatalf("ReadFrom: %v", err)
+	}
+	if b.Schema().String() != a.Schema().String() {
+		t.Fatalf("schema mismatch: %v vs %v", b.Schema(), a.Schema())
+	}
+	for _, attr := range []string{"x", "y"} {
+		ad, _ := a.AttrData(attr)
+		bd, _ := b.AttrData(attr)
+		for i := range ad {
+			if ad[i] != bd[i] && !(math.IsNaN(ad[i]) && math.IsNaN(bd[i])) {
+				t.Fatalf("cell %d of %s: %v != %v", i, attr, ad[i], bd[i])
+			}
+		}
+	}
+}
+
+func TestIOFileAndDir(t *testing.T) {
+	dir := t.TempDir()
+	db := NewDatabase()
+	db.Store("A", mkArray(t, "A", 4, 4, func(r, c int) float64 { return float64(r + c) }))
+	db.Store("B", mkArray(t, "B", 2, 2, func(r, c int) float64 { return 1 }))
+	if err := db.SaveDir(dir); err != nil {
+		t.Fatalf("SaveDir: %v", err)
+	}
+	db2 := NewDatabase()
+	if err := db2.LoadDir(dir); err != nil {
+		t.Fatalf("LoadDir: %v", err)
+	}
+	if got := db2.Names(); len(got) != 2 || got[0] != "A" || got[1] != "B" {
+		t.Fatalf("Names = %v", got)
+	}
+	a2, err := db2.Get("A")
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, _ := a2.Get("v", 3, 3)
+	if v != 6 {
+		t.Errorf("loaded cell = %v, want 6", v)
+	}
+	if _, err := LoadFile(filepath.Join(dir, "missing.fcar")); err == nil {
+		t.Error("LoadFile on missing path should fail")
+	}
+}
+
+func TestReadFromRejectsCorrupt(t *testing.T) {
+	if _, err := ReadFrom(bytes.NewReader([]byte("XXXX"))); err == nil {
+		t.Error("bad magic should fail")
+	}
+	if _, err := ReadFrom(bytes.NewReader(nil)); err == nil {
+		t.Error("empty stream should fail")
+	}
+}
+
+// Property: for any array contents, regrid with (1,1) and avg is identity.
+func TestRegridIdentityProperty(t *testing.T) {
+	f := func(vals [16]float64) bool {
+		a := mkArrayQuick(vals[:], 4, 4)
+		out, err := a.Regrid(1, 1, AggAvg)
+		if err != nil {
+			return false
+		}
+		ad, _ := a.AttrData("v")
+		od, _ := out.AttrData("v")
+		for i := range ad {
+			if ad[i] != od[i] && !(math.IsNaN(ad[i]) && math.IsNaN(od[i])) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: regrid sum of the count aggregate is preserved under nesting:
+// count(regrid 4x4) == count(regrid 2x2 then 2x2).
+func TestRegridCountCompositionProperty(t *testing.T) {
+	f := func(vals [64]float64, drop uint8) bool {
+		vs := append([]float64(nil), vals[:]...)
+		vs[int(drop)%64] = math.NaN()
+		a := mkArrayQuick(vs, 8, 8)
+		direct, err := a.Regrid(4, 4, AggCount)
+		if err != nil {
+			return false
+		}
+		step1, err := a.Regrid(2, 2, AggCount)
+		if err != nil {
+			return false
+		}
+		step2, err := step1.Regrid(2, 2, AggSum)
+		if err != nil {
+			return false
+		}
+		dd, _ := direct.AttrData("v")
+		sd, _ := step2.AttrData("v")
+		for i := range dd {
+			if dd[i] != sd[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: IO round trip preserves every cell bit pattern (modulo NaN).
+func TestIORoundTripProperty(t *testing.T) {
+	f := func(vals [24]float64) bool {
+		a := mkArrayQuick(vals[:], 4, 6)
+		var buf bytes.Buffer
+		if _, err := a.WriteTo(&buf); err != nil {
+			return false
+		}
+		b, err := ReadFrom(&buf)
+		if err != nil {
+			return false
+		}
+		ad, _ := a.AttrData("v")
+		bd, _ := b.AttrData("v")
+		for i := range ad {
+			if ad[i] != bd[i] && !(math.IsNaN(ad[i]) && math.IsNaN(bd[i])) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func mkArrayQuick(vals []float64, rows, cols int) *Array {
+	a := NewZero(Schema{Name: "Q", Attrs: []string{"v"},
+		Dims: [2]Dim{{"r", rows}, {"c", cols}}})
+	data, _ := a.AttrData("v")
+	copy(data, vals)
+	return a
+}
+
+func BenchmarkRegridAvg(b *testing.B) {
+	a := NewZero(Schema{Name: "B", Attrs: []string{"v"},
+		Dims: [2]Dim{{"r", 512}, {"c", 512}}})
+	data, _ := a.AttrData("v")
+	for i := range data {
+		data[i] = float64(i % 97)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := a.Regrid(2, 2, AggAvg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkQueryParseEval(b *testing.B) {
+	db := NewDatabase()
+	a := NewZero(Schema{Name: "A", Attrs: []string{"v"},
+		Dims: [2]Dim{{"r", 64}, {"c", 64}}})
+	db.Store("A", a)
+	db.RegisterUDF("id", func(args []float64) float64 { return args[0] })
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := db.Query("regrid(apply(scan(A), w, id(v)), 2, 2, avg)"); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

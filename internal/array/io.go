@@ -1,0 +1,259 @@
+package array
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"path/filepath"
+)
+
+// Binary persistence for arrays. The format is chunked so large arrays
+// stream without loading twice, mirroring SciDB's chunked storage layout:
+//
+//	magic "FCAR" | version u32 | name | nattrs u32 | attr names
+//	| dim0 name | dim0 size u64 | dim1 name | dim1 size u64
+//	| chunkRows u32 | chunkCols u32
+//	| for each attr, for each chunk row-major: cells as float64 LE
+//
+// Strings are u32 length-prefixed UTF-8.
+
+const (
+	ioMagic   = "FCAR"
+	ioVersion = 1
+	// DefaultChunkRows and DefaultChunkCols set the on-disk chunk shape.
+	DefaultChunkRows = 256
+	DefaultChunkCols = 256
+)
+
+func writeString(w io.Writer, s string) error {
+	if err := binary.Write(w, binary.LittleEndian, uint32(len(s))); err != nil {
+		return err
+	}
+	_, err := w.Write([]byte(s))
+	return err
+}
+
+func readString(r io.Reader) (string, error) {
+	var n uint32
+	if err := binary.Read(r, binary.LittleEndian, &n); err != nil {
+		return "", err
+	}
+	if n > 1<<20 {
+		return "", fmt.Errorf("array: corrupt string length %d", n)
+	}
+	buf := make([]byte, n)
+	if _, err := io.ReadFull(r, buf); err != nil {
+		return "", err
+	}
+	return string(buf), nil
+}
+
+// WriteTo streams the array in chunked binary form.
+func (a *Array) WriteTo(w io.Writer) (int64, error) {
+	bw := bufio.NewWriterSize(w, 1<<20)
+	cw := &countWriter{w: bw}
+	if _, err := cw.Write([]byte(ioMagic)); err != nil {
+		return cw.n, err
+	}
+	if err := binary.Write(cw, binary.LittleEndian, uint32(ioVersion)); err != nil {
+		return cw.n, err
+	}
+	if err := writeString(cw, a.schema.Name); err != nil {
+		return cw.n, err
+	}
+	if err := binary.Write(cw, binary.LittleEndian, uint32(len(a.schema.Attrs))); err != nil {
+		return cw.n, err
+	}
+	for _, attr := range a.schema.Attrs {
+		if err := writeString(cw, attr); err != nil {
+			return cw.n, err
+		}
+	}
+	for _, d := range a.schema.Dims {
+		if err := writeString(cw, d.Name); err != nil {
+			return cw.n, err
+		}
+		if err := binary.Write(cw, binary.LittleEndian, uint64(d.Size)); err != nil {
+			return cw.n, err
+		}
+	}
+	if err := binary.Write(cw, binary.LittleEndian, uint32(DefaultChunkRows)); err != nil {
+		return cw.n, err
+	}
+	if err := binary.Write(cw, binary.LittleEndian, uint32(DefaultChunkCols)); err != nil {
+		return cw.n, err
+	}
+	buf := make([]byte, 8)
+	for _, col := range a.data {
+		for r0 := 0; r0 < a.Rows(); r0 += DefaultChunkRows {
+			r1 := min(r0+DefaultChunkRows, a.Rows())
+			for c0 := 0; c0 < a.Cols(); c0 += DefaultChunkCols {
+				c1 := min(c0+DefaultChunkCols, a.Cols())
+				for r := r0; r < r1; r++ {
+					base := r * a.Cols()
+					for c := c0; c < c1; c++ {
+						binary.LittleEndian.PutUint64(buf, math.Float64bits(col[base+c]))
+						if _, err := cw.Write(buf); err != nil {
+							return cw.n, err
+						}
+					}
+				}
+			}
+		}
+	}
+	if err := bw.Flush(); err != nil {
+		return cw.n, err
+	}
+	return cw.n, nil
+}
+
+// ReadFrom reconstructs an array previously written with WriteTo.
+func ReadFrom(r io.Reader) (*Array, error) {
+	br := bufio.NewReaderSize(r, 1<<20)
+	magic := make([]byte, 4)
+	if _, err := io.ReadFull(br, magic); err != nil {
+		return nil, err
+	}
+	if string(magic) != ioMagic {
+		return nil, fmt.Errorf("array: bad magic %q", magic)
+	}
+	var version uint32
+	if err := binary.Read(br, binary.LittleEndian, &version); err != nil {
+		return nil, err
+	}
+	if version != ioVersion {
+		return nil, fmt.Errorf("array: unsupported version %d", version)
+	}
+	name, err := readString(br)
+	if err != nil {
+		return nil, err
+	}
+	var nattrs uint32
+	if err := binary.Read(br, binary.LittleEndian, &nattrs); err != nil {
+		return nil, err
+	}
+	if nattrs > 1<<16 {
+		return nil, fmt.Errorf("array: corrupt attribute count %d", nattrs)
+	}
+	attrs := make([]string, nattrs)
+	for i := range attrs {
+		if attrs[i], err = readString(br); err != nil {
+			return nil, err
+		}
+	}
+	var dims [2]Dim
+	for i := range dims {
+		if dims[i].Name, err = readString(br); err != nil {
+			return nil, err
+		}
+		var size uint64
+		if err := binary.Read(br, binary.LittleEndian, &size); err != nil {
+			return nil, err
+		}
+		if size > 1<<32 {
+			return nil, fmt.Errorf("array: corrupt dimension size %d", size)
+		}
+		dims[i].Size = int(size)
+	}
+	var chunkRows, chunkCols uint32
+	if err := binary.Read(br, binary.LittleEndian, &chunkRows); err != nil {
+		return nil, err
+	}
+	if err := binary.Read(br, binary.LittleEndian, &chunkCols); err != nil {
+		return nil, err
+	}
+	if chunkRows == 0 || chunkCols == 0 {
+		return nil, fmt.Errorf("array: corrupt chunk shape %dx%d", chunkRows, chunkCols)
+	}
+	a := NewZero(Schema{Name: name, Attrs: attrs, Dims: dims})
+	buf := make([]byte, 8)
+	for _, col := range a.data {
+		for r0 := 0; r0 < a.Rows(); r0 += int(chunkRows) {
+			r1 := min(r0+int(chunkRows), a.Rows())
+			for c0 := 0; c0 < a.Cols(); c0 += int(chunkCols) {
+				c1 := min(c0+int(chunkCols), a.Cols())
+				for r := r0; r < r1; r++ {
+					base := r * a.Cols()
+					for c := c0; c < c1; c++ {
+						if _, err := io.ReadFull(br, buf); err != nil {
+							return nil, err
+						}
+						col[base+c] = math.Float64frombits(binary.LittleEndian.Uint64(buf))
+					}
+				}
+			}
+		}
+	}
+	return a, nil
+}
+
+// SaveFile writes the array to path, creating parent directories.
+func (a *Array) SaveFile(path string) error {
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		return err
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if _, err := a.WriteTo(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// LoadFile reads an array previously written with SaveFile.
+func LoadFile(path string) (*Array, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return ReadFrom(f)
+}
+
+// SaveDir persists every array in the database under dir, one file per
+// array named "<name>.fcar".
+func (db *Database) SaveDir(dir string) error {
+	for _, name := range db.Names() {
+		a, err := db.Get(name)
+		if err != nil {
+			return err
+		}
+		if err := a.SaveFile(filepath.Join(dir, name+".fcar")); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// LoadDir loads every "*.fcar" file in dir into the database.
+func (db *Database) LoadDir(dir string) error {
+	matches, err := filepath.Glob(filepath.Join(dir, "*.fcar"))
+	if err != nil {
+		return err
+	}
+	for _, path := range matches {
+		a, err := LoadFile(path)
+		if err != nil {
+			return fmt.Errorf("array: load %s: %w", path, err)
+		}
+		db.Store(a.Schema().Name, a)
+	}
+	return nil
+}
+
+type countWriter struct {
+	w io.Writer
+	n int64
+}
+
+func (c *countWriter) Write(p []byte) (int, error) {
+	n, err := c.w.Write(p)
+	c.n += int64(n)
+	return n, err
+}

@@ -1,0 +1,300 @@
+package array
+
+import (
+	"fmt"
+	"math"
+)
+
+// UDF is a cell-wise user-defined function: it receives one value per input
+// attribute (in the order given at the call site) and returns the output
+// cell value. The paper's NDSI snow index is expressed as a UDF.
+type UDF func(args []float64) float64
+
+// Apply evaluates a UDF cell-wise over the named input attributes and
+// returns a new array that contains all original attributes plus the result
+// stored under newAttr, mirroring SciDB's apply() operator.
+func (a *Array) Apply(newAttr string, fn UDF, inAttrs ...string) (*Array, error) {
+	idx := make([]int, len(inAttrs))
+	for i, name := range inAttrs {
+		j := a.schema.AttrIndex(name)
+		if j < 0 {
+			return nil, fmt.Errorf("%w: %q in %s", ErrNoAttr, name, a.schema.Name)
+		}
+		idx[i] = j
+	}
+	if a.schema.AttrIndex(newAttr) >= 0 {
+		return nil, fmt.Errorf("array: attribute %q already exists in %s", newAttr, a.schema.Name)
+	}
+	out := &Array{
+		schema: Schema{
+			Name:  a.schema.Name,
+			Attrs: append(append([]string(nil), a.schema.Attrs...), newAttr),
+			Dims:  a.schema.Dims,
+		},
+		data: append(append([][]float64(nil), a.data...), nil),
+	}
+	n := a.NumCells()
+	res := make([]float64, n)
+	args := make([]float64, len(idx))
+	for c := 0; c < n; c++ {
+		empty := false
+		for i, j := range idx {
+			v := a.data[j][c]
+			if math.IsNaN(v) {
+				empty = true
+				break
+			}
+			args[i] = v
+		}
+		if empty {
+			res[c] = math.NaN()
+			continue
+		}
+		res[c] = fn(args)
+	}
+	out.data[len(out.data)-1] = res
+	return out, nil
+}
+
+// Join performs SciDB's implicit equi-join on dimensions: both arrays must
+// have identical dimension extents; the result carries the attributes of
+// both inputs. Attribute name collisions are disambiguated by prefixing the
+// right array's name ("B.reflectance" style flattened to "B_reflectance").
+func Join(a, b *Array) (*Array, error) {
+	if a.Rows() != b.Rows() || a.Cols() != b.Cols() {
+		return nil, fmt.Errorf("%w: join %s with %s", ErrShape, a.schema, b.schema)
+	}
+	attrs := append([]string(nil), a.schema.Attrs...)
+	data := append([][]float64(nil), a.data...)
+	for i, name := range b.schema.Attrs {
+		out := name
+		if a.schema.AttrIndex(name) >= 0 {
+			out = b.schema.Name + "_" + name
+		}
+		attrs = append(attrs, out)
+		data = append(data, b.data[i])
+	}
+	return &Array{
+		schema: Schema{Name: a.schema.Name, Attrs: attrs, Dims: a.schema.Dims},
+		data:   data,
+	}, nil
+}
+
+// Agg identifies a windowed aggregation function for Regrid.
+type Agg int
+
+// Supported aggregation functions.
+const (
+	AggAvg Agg = iota
+	AggSum
+	AggMin
+	AggMax
+	AggCount
+)
+
+// ParseAgg maps an AFL aggregate name ("avg", "sum", ...) to an Agg.
+func ParseAgg(name string) (Agg, error) {
+	switch name {
+	case "avg":
+		return AggAvg, nil
+	case "sum":
+		return AggSum, nil
+	case "min":
+		return AggMin, nil
+	case "max":
+		return AggMax, nil
+	case "count":
+		return AggCount, nil
+	}
+	return 0, fmt.Errorf("array: unknown aggregate %q", name)
+}
+
+// String returns the AFL name of the aggregate.
+func (g Agg) String() string {
+	switch g {
+	case AggAvg:
+		return "avg"
+	case AggSum:
+		return "sum"
+	case AggMin:
+		return "min"
+	case AggMax:
+		return "max"
+	case AggCount:
+		return "count"
+	}
+	return "agg?"
+}
+
+// Regrid aggregates non-overlapping j0 x j1 windows of every attribute into
+// single cells, producing an array of size ceil(rows/j0) x ceil(cols/j1).
+// This is the paper's materialized-view builder: aggregation parameters
+// (j0, j1) control how much detail the resulting zoom level retains
+// (Figure 3 shows a 16x16 array regridded with (2,2) into 8x8). NaN cells
+// are treated as empty and excluded; a window with no valid cells yields NaN
+// (0 for count).
+func (a *Array) Regrid(j0, j1 int, agg Agg) (*Array, error) {
+	if j0 <= 0 || j1 <= 0 {
+		return nil, fmt.Errorf("array: regrid intervals must be positive, got (%d,%d)", j0, j1)
+	}
+	outRows := (a.Rows() + j0 - 1) / j0
+	outCols := (a.Cols() + j1 - 1) / j1
+	out := &Array{
+		schema: Schema{
+			Name:  a.schema.Name,
+			Attrs: append([]string(nil), a.schema.Attrs...),
+			Dims: [2]Dim{
+				{Name: a.schema.Dims[0].Name, Size: outRows},
+				{Name: a.schema.Dims[1].Name, Size: outCols},
+			},
+		},
+		data: make([][]float64, len(a.data)),
+	}
+	for ai, src := range a.data {
+		dst := make([]float64, outRows*outCols)
+		for or := 0; or < outRows; or++ {
+			r0, r1 := or*j0, min((or+1)*j0, a.Rows())
+			for oc := 0; oc < outCols; oc++ {
+				c0, c1 := oc*j1, min((oc+1)*j1, a.Cols())
+				dst[or*outCols+oc] = aggregateWindow(src, a.Cols(), r0, r1, c0, c1, agg)
+			}
+		}
+		out.data[ai] = dst
+	}
+	return out, nil
+}
+
+func aggregateWindow(src []float64, cols, r0, r1, c0, c1 int, agg Agg) float64 {
+	var sum, mn, mx float64
+	mn, mx = math.Inf(1), math.Inf(-1)
+	n := 0
+	for r := r0; r < r1; r++ {
+		base := r * cols
+		for c := c0; c < c1; c++ {
+			v := src[base+c]
+			if math.IsNaN(v) {
+				continue
+			}
+			n++
+			sum += v
+			if v < mn {
+				mn = v
+			}
+			if v > mx {
+				mx = v
+			}
+		}
+	}
+	if agg == AggCount {
+		return float64(n)
+	}
+	if n == 0 {
+		return math.NaN()
+	}
+	switch agg {
+	case AggAvg:
+		return sum / float64(n)
+	case AggSum:
+		return sum
+	case AggMin:
+		return mn
+	case AggMax:
+		return mx
+	}
+	return math.NaN()
+}
+
+// Subarray returns the rectangular region [r0,r1) x [c0,c1) as a new array.
+// Regions extending past the array edge are clipped; the result keeps the
+// requested size with NaN padding so tiles at dataset borders stay uniform.
+func (a *Array) Subarray(r0, c0, r1, c1 int) (*Array, error) {
+	if r1 <= r0 || c1 <= c0 {
+		return nil, fmt.Errorf("array: empty subarray [%d,%d)x[%d,%d)", r0, r1, c0, c1)
+	}
+	rows, cols := r1-r0, c1-c0
+	out := New(Schema{
+		Name:  a.schema.Name,
+		Attrs: append([]string(nil), a.schema.Attrs...),
+		Dims: [2]Dim{
+			{Name: a.schema.Dims[0].Name, Size: rows},
+			{Name: a.schema.Dims[1].Name, Size: cols},
+		},
+	})
+	for ai := range a.data {
+		src, dst := a.data[ai], out.data[ai]
+		for r := 0; r < rows; r++ {
+			sr := r0 + r
+			if sr < 0 || sr >= a.Rows() {
+				continue
+			}
+			for c := 0; c < cols; c++ {
+				sc := c0 + c
+				if sc < 0 || sc >= a.Cols() {
+					continue
+				}
+				dst[r*cols+c] = src[sr*a.Cols()+sc]
+			}
+		}
+	}
+	return out, nil
+}
+
+// Project returns a new array retaining only the named attributes.
+func (a *Array) Project(attrs ...string) (*Array, error) {
+	out := &Array{
+		schema: Schema{Name: a.schema.Name, Dims: a.schema.Dims},
+	}
+	for _, name := range attrs {
+		i := a.schema.AttrIndex(name)
+		if i < 0 {
+			return nil, fmt.Errorf("%w: %q in %s", ErrNoAttr, name, a.schema.Name)
+		}
+		out.schema.Attrs = append(out.schema.Attrs, name)
+		out.data = append(out.data, a.data[i])
+	}
+	return out, nil
+}
+
+// Stats summarizes one attribute: count of non-empty cells, mean, standard
+// deviation, minimum and maximum. It underlies the Normal tile signature.
+type Stats struct {
+	Count    int
+	Mean     float64
+	Stddev   float64
+	Min, Max float64
+}
+
+// AttrStats computes Stats for the named attribute.
+func (a *Array) AttrStats(attr string) (Stats, error) {
+	src, err := a.AttrData(attr)
+	if err != nil {
+		return Stats{}, err
+	}
+	var s Stats
+	s.Min, s.Max = math.Inf(1), math.Inf(-1)
+	var sum, sq float64
+	for _, v := range src {
+		if math.IsNaN(v) {
+			continue
+		}
+		s.Count++
+		sum += v
+		sq += v * v
+		if v < s.Min {
+			s.Min = v
+		}
+		if v > s.Max {
+			s.Max = v
+		}
+	}
+	if s.Count == 0 {
+		return Stats{Min: math.NaN(), Max: math.NaN(), Mean: math.NaN(), Stddev: math.NaN()}, nil
+	}
+	s.Mean = sum / float64(s.Count)
+	variance := sq/float64(s.Count) - s.Mean*s.Mean
+	if variance < 0 {
+		variance = 0
+	}
+	s.Stddev = math.Sqrt(variance)
+	return s, nil
+}

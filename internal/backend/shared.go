@@ -1,0 +1,142 @@
+package backend
+
+import (
+	"container/list"
+	"sync"
+
+	"forecache/internal/tile"
+)
+
+// Store is what the prediction engine needs from a tile back end. *DBMS
+// implements it directly; SharedPool wraps a DBMS with a cross-session
+// tile pool — the multi-user optimization the paper lists as future work
+// (§6.2: "how to share data between users exploring the same dataset").
+type Store interface {
+	// Fetch retrieves a tile on the user-facing path, charging latency.
+	Fetch(c tile.Coord) (*tile.Tile, error)
+	// FetchQuiet retrieves a tile off the response path (prefetching).
+	FetchQuiet(c tile.Coord) (*tile.Tile, error)
+	// Latency reports the hit/miss service times.
+	Latency() LatencyModel
+	// Pyramid exposes the tile geometry for candidate generation.
+	Pyramid() *tile.Pyramid
+}
+
+// SharedStats counts cross-session pool activity.
+type SharedStats struct {
+	// PoolHits are fetches answered from the shared pool (another
+	// session's work was reused).
+	PoolHits int
+	// DBMSFetches went through to the DBMS.
+	DBMSFetches int
+	// Evicted tiles were dropped by the pool's LRU.
+	Evicted int
+}
+
+// SharedPool is a bounded read-through LRU of tiles shared by every
+// session of one middleware deployment. When several analysts browse the
+// same dataset, popular tiles (continental overviews, famous mountain
+// ranges) are fetched from the DBMS once and reused: a pool hit on the
+// user-facing path costs the hit latency instead of a full DBMS round
+// trip. It is safe for concurrent use.
+type SharedPool struct {
+	db       *DBMS
+	capacity int
+
+	mu    sync.Mutex
+	lru   *list.List // of *tile.Tile, front = most recent
+	idx   map[tile.Coord]*list.Element
+	stats SharedStats
+}
+
+// NewSharedPool wraps the DBMS with a pool holding up to capacity tiles.
+func NewSharedPool(db *DBMS, capacity int) *SharedPool {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &SharedPool{
+		db:       db,
+		capacity: capacity,
+		lru:      list.New(),
+		idx:      make(map[tile.Coord]*list.Element),
+	}
+}
+
+// Fetch serves the user-facing path: pool hits cost the hit latency, pool
+// misses go to the DBMS (miss latency) and populate the pool.
+func (p *SharedPool) Fetch(c tile.Coord) (*tile.Tile, error) {
+	if t := p.lookup(c); t != nil {
+		if clock := p.db.Clock(); clock != nil {
+			clock.Sleep(p.db.Latency().Hit)
+		}
+		return t, nil
+	}
+	t, err := p.db.Fetch(c)
+	if err != nil {
+		return nil, err
+	}
+	p.insert(t)
+	return t, nil
+}
+
+// FetchQuiet serves prefetching: no latency is charged either way, but the
+// pool still deduplicates DBMS work across sessions.
+func (p *SharedPool) FetchQuiet(c tile.Coord) (*tile.Tile, error) {
+	if t := p.lookup(c); t != nil {
+		return t, nil
+	}
+	t, err := p.db.FetchQuiet(c)
+	if err != nil {
+		return nil, err
+	}
+	p.insert(t)
+	return t, nil
+}
+
+// Latency reports the wrapped DBMS's latency model.
+func (p *SharedPool) Latency() LatencyModel { return p.db.Latency() }
+
+// Pyramid exposes the wrapped DBMS's pyramid.
+func (p *SharedPool) Pyramid() *tile.Pyramid { return p.db.Pyramid() }
+
+// Stats snapshots the pool counters.
+func (p *SharedPool) Stats() SharedStats {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.stats
+}
+
+// Len returns the number of pooled tiles.
+func (p *SharedPool) Len() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.lru.Len()
+}
+
+func (p *SharedPool) lookup(c tile.Coord) *tile.Tile {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if el, ok := p.idx[c]; ok {
+		p.lru.MoveToFront(el)
+		p.stats.PoolHits++
+		return el.Value.(*tile.Tile)
+	}
+	return nil
+}
+
+func (p *SharedPool) insert(t *tile.Tile) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.stats.DBMSFetches++
+	if el, ok := p.idx[t.Coord]; ok {
+		p.lru.MoveToFront(el)
+		return
+	}
+	p.idx[t.Coord] = p.lru.PushFront(t)
+	for p.lru.Len() > p.capacity {
+		back := p.lru.Back()
+		p.lru.Remove(back)
+		delete(p.idx, back.Value.(*tile.Tile).Coord)
+		p.stats.Evicted++
+	}
+}

@@ -1,0 +1,125 @@
+package backend
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"forecache/internal/tile"
+)
+
+func TestSharedPoolDeduplicatesAcrossSessions(t *testing.T) {
+	pyr := buildPyramid(t)
+	clock := &SimClock{}
+	db := NewDBMS(pyr, DefaultLatency(), clock)
+	pool := NewSharedPool(db, 8)
+
+	root := tile.Coord{}
+	// Session A misses: full DBMS round trip.
+	if _, err := pool.Fetch(root); err != nil {
+		t.Fatal(err)
+	}
+	if got := clock.Elapsed(); got != 984*time.Millisecond {
+		t.Fatalf("first fetch elapsed = %v", got)
+	}
+	// Session B asks for the same tile: pool hit, hit latency only.
+	if _, err := pool.Fetch(root); err != nil {
+		t.Fatal(err)
+	}
+	if got := clock.Elapsed(); got != 984*time.Millisecond+19500*time.Microsecond {
+		t.Fatalf("second fetch elapsed = %v, want one miss + one hit", got)
+	}
+	st := pool.Stats()
+	if st.PoolHits != 1 || st.DBMSFetches != 1 {
+		t.Errorf("stats = %+v", st)
+	}
+	if db.Queries() != 1 {
+		t.Errorf("DBMS queries = %d, want 1 (deduplicated)", db.Queries())
+	}
+}
+
+func TestSharedPoolQuietPathPopulates(t *testing.T) {
+	pyr := buildPyramid(t)
+	db := NewDBMS(pyr, DefaultLatency(), &SimClock{})
+	pool := NewSharedPool(db, 4)
+	c := tile.Coord{Level: 1, Y: 1, X: 0}
+	if _, err := pool.FetchQuiet(c); err != nil { // one session prefetches
+		t.Fatal(err)
+	}
+	if _, err := pool.Fetch(c); err != nil { // another session requests
+		t.Fatal(err)
+	}
+	if db.Queries() != 1 {
+		t.Errorf("queries = %d, want 1: prefetch should feed other sessions", db.Queries())
+	}
+}
+
+func TestSharedPoolEvicts(t *testing.T) {
+	pyr := buildPyramid(t)
+	db := NewDBMS(pyr, DefaultLatency(), nil)
+	pool := NewSharedPool(db, 2)
+	coords := []tile.Coord{
+		{Level: 1, Y: 0, X: 0}, {Level: 1, Y: 0, X: 1}, {Level: 1, Y: 1, X: 0},
+	}
+	for _, c := range coords {
+		if _, err := pool.FetchQuiet(c); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if pool.Len() != 2 {
+		t.Errorf("Len = %d, want 2", pool.Len())
+	}
+	if pool.Stats().Evicted != 1 {
+		t.Errorf("Evicted = %d, want 1", pool.Stats().Evicted)
+	}
+	// The oldest (first) coord was evicted; refetching hits the DBMS again.
+	before := db.Queries()
+	if _, err := pool.FetchQuiet(coords[0]); err != nil {
+		t.Fatal(err)
+	}
+	if db.Queries() != before+1 {
+		t.Error("evicted tile should require a fresh DBMS fetch")
+	}
+}
+
+func TestSharedPoolErrorsPassThrough(t *testing.T) {
+	pyr := buildPyramid(t)
+	pool := NewSharedPool(NewDBMS(pyr, DefaultLatency(), nil), 4)
+	if _, err := pool.Fetch(tile.Coord{Level: 42}); err == nil {
+		t.Error("invalid coordinate should fail")
+	}
+	if _, err := pool.FetchQuiet(tile.Coord{Level: 42}); err == nil {
+		t.Error("invalid coordinate should fail on the quiet path too")
+	}
+}
+
+func TestSharedPoolConcurrent(t *testing.T) {
+	pyr := buildPyramid(t)
+	db := NewDBMS(pyr, DefaultLatency(), &SimClock{})
+	pool := NewSharedPool(db, 16)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				c := tile.Coord{Level: 2, Y: (g + i) % 4, X: i % 4}
+				if _, err := pool.Fetch(c); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	st := pool.Stats()
+	if st.PoolHits+st.DBMSFetches < 800 {
+		t.Errorf("stats undercount concurrent fetches: %+v", st)
+	}
+}
+
+// The Store interface must be satisfied by both back ends.
+var (
+	_ Store = (*DBMS)(nil)
+	_ Store = (*SharedPool)(nil)
+)

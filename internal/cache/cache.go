@@ -1,0 +1,232 @@
+// Package cache implements ForeCache's middleware tile cache manager
+// (paper §3). The main-memory cache is split into regions: each
+// recommendation model is allotted a limited number of tile slots for its
+// predictions (the "allocation strategy", re-evaluated after every
+// request), and a separate LRU region holds the last n tiles the interface
+// actually requested.
+package cache
+
+import (
+	"container/list"
+	"sync"
+
+	"forecache/internal/tile"
+)
+
+// Stats counts cache activity. Prediction accuracy in the paper's
+// experiments is exactly this cache's hit rate (paper §5.2.2).
+type Stats struct {
+	Hits       int
+	Misses     int
+	Prefetched int
+	Evicted    int
+}
+
+// HitRate returns Hits / (Hits + Misses), or 0 before any lookups.
+func (s Stats) HitRate() float64 {
+	total := s.Hits + s.Misses
+	if total == 0 {
+		return 0
+	}
+	return float64(s.Hits) / float64(total)
+}
+
+// Manager is the middleware tile cache. It is safe for concurrent use.
+type Manager struct {
+	mu sync.Mutex
+
+	// model regions: model name -> recently prefetched tiles, capped by the
+	// allocation strategy.
+	allocs  map[string]int
+	regions map[string][]*tile.Tile
+
+	// LRU region for the interface's last n requested tiles.
+	recentCap int
+	recent    *list.List // of *tile.Tile, front = most recent
+	recentIdx map[tile.Coord]*list.Element
+
+	stats Stats
+}
+
+// NewManager returns a cache whose LRU region retains the last recentCap
+// requested tiles. Model allotments start empty; call SetAllocations.
+func NewManager(recentCap int) *Manager {
+	if recentCap < 1 {
+		recentCap = 1
+	}
+	return &Manager{
+		allocs:    make(map[string]int),
+		regions:   make(map[string][]*tile.Tile),
+		recentCap: recentCap,
+		recent:    list.New(),
+		recentIdx: make(map[tile.Coord]*list.Element),
+	}
+}
+
+// SetAllocations installs a new allocation strategy: tile slots per model.
+// Existing model regions are trimmed to the new allotments; models absent
+// from the map lose their region entirely.
+func (m *Manager) SetAllocations(allocs map[string]int) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.allocs = make(map[string]int, len(allocs))
+	for name, k := range allocs {
+		if k < 0 {
+			k = 0
+		}
+		m.allocs[name] = k
+	}
+	for name, region := range m.regions {
+		k, ok := m.allocs[name]
+		if !ok {
+			m.stats.Evicted += len(region)
+			delete(m.regions, name)
+			continue
+		}
+		if len(region) > k {
+			m.stats.Evicted += len(region) - k
+			m.regions[name] = region[:k]
+		}
+	}
+}
+
+// Allocations returns a copy of the current allocation strategy.
+func (m *Manager) Allocations() map[string]int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make(map[string]int, len(m.allocs))
+	for k, v := range m.allocs {
+		out[k] = v
+	}
+	return out
+}
+
+// FillPredictions replaces a model's region with its newest ranked
+// predictions, trimmed to the model's allotment. Tiles beyond the
+// allotment count as evictions. Unknown models get allotment 0.
+func (m *Manager) FillPredictions(model string, tiles []*tile.Tile) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	k := m.allocs[model]
+	old := m.regions[model]
+	m.stats.Evicted += len(old)
+	if len(tiles) > k {
+		tiles = tiles[:k]
+	}
+	m.regions[model] = append([]*tile.Tile(nil), tiles...)
+	m.stats.Prefetched += len(tiles)
+}
+
+// Lookup returns the cached tile for c from any region, counting a hit or
+// miss. The model regions are checked first (prefetched tiles), then the
+// recent-request LRU.
+func (m *Manager) Lookup(c tile.Coord) (*tile.Tile, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for _, region := range m.regions {
+		for _, t := range region {
+			if t != nil && t.Coord == c {
+				m.stats.Hits++
+				return t, true
+			}
+		}
+	}
+	if el, ok := m.recentIdx[c]; ok {
+		m.recent.MoveToFront(el)
+		m.stats.Hits++
+		return el.Value.(*tile.Tile), true
+	}
+	m.stats.Misses++
+	return nil, false
+}
+
+// Peek reports whether c is cached without touching statistics or LRU
+// order.
+func (m *Manager) Peek(c tile.Coord) bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for _, region := range m.regions {
+		for _, t := range region {
+			if t != nil && t.Coord == c {
+				return true
+			}
+		}
+	}
+	_, ok := m.recentIdx[c]
+	return ok
+}
+
+// InsertRecent records a tile the interface actually requested into the
+// LRU region, evicting the least recently used past capacity.
+func (m *Manager) InsertRecent(t *tile.Tile) {
+	if t == nil {
+		return
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if el, ok := m.recentIdx[t.Coord]; ok {
+		m.recent.MoveToFront(el)
+		el.Value = t
+		return
+	}
+	m.recentIdx[t.Coord] = m.recent.PushFront(t)
+	for m.recent.Len() > m.recentCap {
+		back := m.recent.Back()
+		m.recent.Remove(back)
+		delete(m.recentIdx, back.Value.(*tile.Tile).Coord)
+		m.stats.Evicted++
+	}
+}
+
+// Stats returns a snapshot of the counters.
+func (m *Manager) Stats() Stats {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.stats
+}
+
+// ResetStats zeroes the counters (e.g. between experiment phases).
+func (m *Manager) ResetStats() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.stats = Stats{}
+}
+
+// Clear empties every region and the LRU (a new session), keeping the
+// allocation strategy.
+func (m *Manager) Clear() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.regions = make(map[string][]*tile.Tile)
+	m.recent.Init()
+	m.recentIdx = make(map[tile.Coord]*list.Element)
+}
+
+// MemBytes estimates the cache's current tile memory footprint.
+func (m *Manager) MemBytes() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	total := 0
+	for _, region := range m.regions {
+		for _, t := range region {
+			if t != nil {
+				total += t.Bytes()
+			}
+		}
+	}
+	for el := m.recent.Front(); el != nil; el = el.Next() {
+		total += el.Value.(*tile.Tile).Bytes()
+	}
+	return total
+}
+
+// Len returns the number of cached tiles across all regions.
+func (m *Manager) Len() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	n := m.recent.Len()
+	for _, region := range m.regions {
+		n += len(region)
+	}
+	return n
+}

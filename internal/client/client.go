@@ -1,0 +1,144 @@
+// Package client is the Go client for the ForeCache middleware server: the
+// programmatic equivalent of the paper's browser-based visualizer. It
+// issues tile requests and surfaces the middleware's cache/phase/latency
+// telemetry from the response headers.
+package client
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"strconv"
+	"time"
+
+	"forecache/internal/tile"
+)
+
+// Meta mirrors the server's dataset description (the wire type is defined
+// on both sides to keep the client importable without the server).
+type Meta struct {
+	Levels   int      `json:"levels"`
+	TileSize int      `json:"tileSize"`
+	Attrs    []string `json:"attrs"`
+}
+
+// Client talks to one middleware server on behalf of one session.
+type Client struct {
+	base    string
+	session string
+	http    *http.Client
+}
+
+// New returns a client for the server at base (e.g.
+// "http://localhost:8080") using the given session id ("" = default).
+func New(base, session string) *Client {
+	return &Client{base: base, session: session, http: &http.Client{Timeout: 30 * time.Second}}
+}
+
+// TileInfo carries the middleware telemetry for one served tile.
+type TileInfo struct {
+	Hit     bool
+	Phase   string
+	Latency time.Duration
+}
+
+// Meta fetches the dataset description.
+func (c *Client) Meta() (Meta, error) {
+	var meta Meta
+	err := c.getJSON("/meta", nil, &meta)
+	return meta, err
+}
+
+// Tile requests one tile; the returned info reports whether the middleware
+// had it prefetched.
+func (c *Client) Tile(coord tile.Coord) (*tile.Tile, TileInfo, error) {
+	q := url.Values{}
+	q.Set("level", strconv.Itoa(coord.Level))
+	q.Set("y", strconv.Itoa(coord.Y))
+	q.Set("x", strconv.Itoa(coord.X))
+	if c.session != "" {
+		q.Set("session", c.session)
+	}
+	resp, err := c.http.Get(c.base + "/tile?" + q.Encode())
+	if err != nil {
+		return nil, TileInfo{}, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, TileInfo{}, decodeError(resp)
+	}
+	var t tile.Tile
+	if err := json.NewDecoder(resp.Body).Decode(&t); err != nil {
+		return nil, TileInfo{}, fmt.Errorf("client: decode tile: %w", err)
+	}
+	info := TileInfo{
+		Hit:   resp.Header.Get("X-Cache") == "HIT",
+		Phase: resp.Header.Get("X-Phase"),
+	}
+	if ms, err := strconv.ParseFloat(resp.Header.Get("X-Latency-Ms"), 64); err == nil {
+		info.Latency = time.Duration(ms * float64(time.Millisecond))
+	}
+	return &t, info, nil
+}
+
+// Stats fetches the session's cache statistics.
+func (c *Client) Stats() (map[string]any, error) {
+	var out map[string]any
+	err := c.getJSON("/stats", c.sessionQuery(), &out)
+	return out, err
+}
+
+// Reset starts a fresh session on the server.
+func (c *Client) Reset() error {
+	u := c.base + "/reset"
+	if q := c.sessionQuery(); q != nil {
+		u += "?" + q.Encode()
+	}
+	resp, err := c.http.Post(u, "", nil)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusNoContent {
+		return decodeError(resp)
+	}
+	return nil
+}
+
+func (c *Client) sessionQuery() url.Values {
+	if c.session == "" {
+		return nil
+	}
+	q := url.Values{}
+	q.Set("session", c.session)
+	return q
+}
+
+func (c *Client) getJSON(path string, q url.Values, dst any) error {
+	u := c.base + path
+	if q != nil {
+		u += "?" + q.Encode()
+	}
+	resp, err := c.http.Get(u)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return decodeError(resp)
+	}
+	return json.NewDecoder(resp.Body).Decode(dst)
+}
+
+func decodeError(resp *http.Response) error {
+	body, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+	var e struct {
+		Error string `json:"error"`
+	}
+	if json.Unmarshal(body, &e) == nil && e.Error != "" {
+		return fmt.Errorf("client: server %d: %s", resp.StatusCode, e.Error)
+	}
+	return fmt.Errorf("client: server %d: %s", resp.StatusCode, body)
+}

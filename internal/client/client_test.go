@@ -1,0 +1,75 @@
+package client
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"forecache/internal/tile"
+)
+
+// These tests exercise the client's error handling against misbehaving
+// servers; the happy path is covered end to end in the server package.
+
+func TestClientSurfacesServerErrors(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusBadRequest)
+		_, _ = w.Write([]byte(`{"error":"no jumping"}`))
+	}))
+	defer ts.Close()
+	c := New(ts.URL, "s")
+	if _, _, err := c.Tile(tile.Coord{}); err == nil {
+		t.Error("400 response should surface as an error")
+	} else if got := err.Error(); got == "" || !contains(got, "no jumping") {
+		t.Errorf("error should carry the server message, got %q", got)
+	}
+	if _, err := c.Meta(); err == nil {
+		t.Error("Meta should fail on a 400 response")
+	}
+	if err := c.Reset(); err == nil {
+		t.Error("Reset should fail on a 400 response")
+	}
+}
+
+func TestClientHandlesNonJSONErrors(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusInternalServerError)
+		_, _ = w.Write([]byte("boom"))
+	}))
+	defer ts.Close()
+	c := New(ts.URL, "")
+	if _, _, err := c.Tile(tile.Coord{}); err == nil || !contains(err.Error(), "boom") {
+		t.Errorf("plain-text error body should be surfaced, got %v", err)
+	}
+}
+
+func TestClientHandlesGarbageTilePayload(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		_, _ = w.Write([]byte("{not json"))
+	}))
+	defer ts.Close()
+	c := New(ts.URL, "")
+	if _, _, err := c.Tile(tile.Coord{}); err == nil {
+		t.Error("garbage payload should fail decoding")
+	}
+}
+
+func TestClientUnreachableServer(t *testing.T) {
+	c := New("http://127.0.0.1:1", "")
+	if _, _, err := c.Tile(tile.Coord{}); err == nil {
+		t.Error("unreachable server should error")
+	}
+	if _, err := c.Stats(); err == nil {
+		t.Error("Stats against unreachable server should error")
+	}
+}
+
+func contains(s, sub string) bool {
+	for i := 0; i+len(sub) <= len(s); i++ {
+		if s[i:i+len(sub)] == sub {
+			return true
+		}
+	}
+	return false
+}

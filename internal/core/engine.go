@@ -1,0 +1,249 @@
+// Package core implements ForeCache's two-level prediction engine, the
+// paper's primary contribution (§4). The top level classifies the user's
+// current analysis phase from her recent requests; the bottom level runs
+// several tile recommendation models in parallel; an allocation policy
+// converts the predicted phase into per-model shares of the prefetch
+// budget, and the cache manager prefetches the models' top-ranked tiles
+// before the user's next request arrives.
+package core
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"forecache/internal/backend"
+	"forecache/internal/cache"
+	"forecache/internal/phase"
+	"forecache/internal/recommend"
+	"forecache/internal/tile"
+	"forecache/internal/trace"
+)
+
+// Config sizes one prediction engine / session.
+type Config struct {
+	// K is the prefetch budget in tiles (the paper sweeps k = 1..8).
+	K int
+	// D is the prediction distance in moves (paper default d = 1).
+	D int
+	// HistoryLen is the session history window n.
+	HistoryLen int
+	// RecentTiles is the LRU region capacity for the last requested tiles.
+	RecentTiles int
+}
+
+// DefaultConfig mirrors the paper's experimental defaults.
+func DefaultConfig() Config {
+	return Config{K: 5, D: 1, HistoryLen: 3, RecentTiles: 4}
+}
+
+func (c Config) withDefaults() Config {
+	d := DefaultConfig()
+	if c.K <= 0 {
+		c.K = d.K
+	}
+	if c.D <= 0 {
+		c.D = d.D
+	}
+	if c.HistoryLen <= 0 {
+		c.HistoryLen = d.HistoryLen
+	}
+	if c.RecentTiles <= 0 {
+		c.RecentTiles = d.RecentTiles
+	}
+	return c
+}
+
+// Response reports one served tile request.
+type Response struct {
+	Tile *tile.Tile
+	// Hit reports whether the middleware cache already held the tile.
+	Hit bool
+	// Latency is the modeled service time for this request.
+	Latency time.Duration
+	// Phase is the classifier's prediction for the user's current phase
+	// (PhaseUnknown when the engine runs without a classifier).
+	Phase trace.Phase
+	// Prefetched lists the tiles fetched ahead for the next request.
+	Prefetched []tile.Coord
+}
+
+// Engine is one user session's middleware: prediction engine + cache
+// manager + DBMS adapter (Figure 5). It is safe for concurrent use, though
+// a session's requests are inherently sequential.
+type Engine struct {
+	cfg        Config
+	db         backend.Store
+	classifier *phase.Classifier // nil => phase always PhaseUnknown
+	policy     AllocationPolicy
+	models     map[string]recommend.Model
+
+	mu      sync.Mutex
+	cache   *cache.Manager
+	history *trace.History
+	last    trace.Request
+	started bool
+}
+
+// NewEngine assembles an engine. classifier may be nil (single-model
+// baselines); every model named by the policy must be present.
+func NewEngine(db backend.Store, classifier *phase.Classifier, policy AllocationPolicy, models []recommend.Model, cfg Config) (*Engine, error) {
+	cfg = cfg.withDefaults()
+	if db == nil {
+		return nil, fmt.Errorf("core: nil DBMS")
+	}
+	if policy == nil {
+		return nil, fmt.Errorf("core: nil allocation policy")
+	}
+	byName := make(map[string]recommend.Model, len(models))
+	for _, m := range models {
+		byName[m.Name()] = m
+	}
+	for name := range policy.Allocations(trace.Foraging, cfg.K) {
+		if _, ok := byName[name]; !ok {
+			return nil, fmt.Errorf("core: policy references unknown model %q", name)
+		}
+	}
+	for name := range policy.Allocations(trace.Sensemaking, cfg.K) {
+		if _, ok := byName[name]; !ok {
+			return nil, fmt.Errorf("core: policy references unknown model %q", name)
+		}
+	}
+	return &Engine{
+		cfg:        cfg,
+		db:         db,
+		classifier: classifier,
+		policy:     policy,
+		models:     byName,
+		cache:      cache.NewManager(cfg.RecentTiles),
+		history:    trace.NewHistory(cfg.HistoryLen),
+	}, nil
+}
+
+// Config returns the engine's configuration.
+func (e *Engine) Config() Config { return e.cfg }
+
+// Policy returns the engine's allocation policy.
+func (e *Engine) Policy() AllocationPolicy { return e.policy }
+
+// CacheStats snapshots the cache counters (hit rate = prediction accuracy,
+// paper §5.2.2).
+func (e *Engine) CacheStats() cache.Stats {
+	return e.cache.Stats()
+}
+
+// Reset starts a fresh session: history, cache contents, model state and
+// statistics are cleared.
+func (e *Engine) Reset() {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.history.Reset()
+	e.cache.Clear()
+	e.cache.ResetStats()
+	for _, m := range e.models {
+		m.Reset()
+	}
+	e.last = trace.Request{Move: trace.None}
+	e.started = false
+}
+
+// Request serves a tile request addressed by coordinate, inferring the
+// move from the previous request, then prefetches for the next one. This
+// is the full per-request cycle of Figure 5: visualizer -> prediction
+// engine -> cache manager -> (SciDB on a miss).
+func (e *Engine) Request(c tile.Coord) (*Response, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+
+	mv := trace.None
+	if e.started {
+		got, ok := trace.MoveBetween(e.last.Coord, c)
+		if !ok {
+			return nil, fmt.Errorf("core: request %v is not one move from %v (no jumping, paper §2.2)", c, e.last.Coord)
+		}
+		mv = got
+	}
+	req := trace.Request{Coord: c, Move: mv}
+
+	// Serve the tile: middleware cache first, SciDB on a miss.
+	resp := &Response{}
+	if t, ok := e.cache.Lookup(c); ok {
+		resp.Tile, resp.Hit = t, true
+		resp.Latency = e.db.Latency().Hit
+	} else {
+		t, err := e.db.Fetch(c) // charges the miss latency on the clock
+		if err != nil {
+			return nil, err
+		}
+		resp.Tile = t
+		resp.Latency = e.db.Latency().Miss
+	}
+	e.cache.InsertRecent(resp.Tile)
+
+	// Update session state and model observations.
+	e.history.Push(req)
+	for _, m := range e.models {
+		m.Observe(req)
+	}
+	e.last = req
+	e.started = true
+
+	// Top level: predict the current analysis phase.
+	if e.classifier != nil {
+		resp.Phase = e.classifier.Predict(req)
+	}
+
+	// Bottom level: re-evaluate allocations, run the models in parallel,
+	// and prefetch their top-ranked tiles for the next request.
+	allocs := e.policy.Allocations(resp.Phase, e.cfg.K)
+	e.cache.SetAllocations(allocs)
+	resp.Prefetched = e.prefetch(req, allocs)
+	return resp, nil
+}
+
+// prefetch asks each allotted model for ranked predictions concurrently
+// (the paper runs recommenders in parallel), then loads the winners into
+// the cache via quiet DBMS fetches (prefetching happens while the user
+// analyzes the current view, off the response path).
+func (e *Engine) prefetch(req trace.Request, allocs map[string]int) []tile.Coord {
+	cands := recommend.Candidates(e.db.Pyramid(), req.Coord, e.cfg.D)
+	type result struct {
+		name   string
+		ranked []recommend.Ranked
+	}
+	results := make(chan result, len(allocs))
+	var wg sync.WaitGroup
+	for name, k := range allocs {
+		m := e.models[name]
+		if m == nil || k <= 0 {
+			continue
+		}
+		wg.Add(1)
+		go func(name string, m recommend.Model, k int) {
+			defer wg.Done()
+			ranked := recommend.TopK(m.Predict(req, cands, e.history), k)
+			results <- result{name: name, ranked: ranked}
+		}(name, m, k)
+	}
+	wg.Wait()
+	close(results)
+
+	var fetched []tile.Coord
+	seen := map[tile.Coord]bool{}
+	for r := range results {
+		tiles := make([]*tile.Tile, 0, len(r.ranked))
+		for _, pred := range r.ranked {
+			t, err := e.db.FetchQuiet(pred.Coord)
+			if err != nil {
+				continue
+			}
+			tiles = append(tiles, t)
+			if !seen[pred.Coord] {
+				seen[pred.Coord] = true
+				fetched = append(fetched, pred.Coord)
+			}
+		}
+		e.cache.FillPredictions(r.name, tiles)
+	}
+	return fetched
+}

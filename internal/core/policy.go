@@ -1,0 +1,101 @@
+package core
+
+import (
+	"forecache/internal/trace"
+)
+
+// AllocationPolicy decides, after every request, how many of the k
+// prefetch slots each recommendation model receives given the user's
+// predicted analysis phase — the cache manager's "allocation strategy"
+// (paper §3, §4.4).
+type AllocationPolicy interface {
+	// Allocations returns tile slots per model name; values should sum to
+	// at most k.
+	Allocations(ph trace.Phase, k int) map[string]int
+	// Name identifies the policy in experiment output.
+	Name() string
+}
+
+// HybridPolicy is the final tuned strategy of §5.4.3: in Sensemaking all k
+// slots go to the Signature-Based model; in every other phase the first
+// min(k, ABFirst) slots go to the Actions-Based model and the remainder to
+// the Signature-Based model. The paper uses ABFirst = 4.
+type HybridPolicy struct {
+	ABName  string
+	SBName  string
+	ABFirst int
+}
+
+// NewHybridPolicy returns the paper's final policy over the two model
+// names (e.g. "markov3" and "sb:sift").
+func NewHybridPolicy(abName, sbName string) HybridPolicy {
+	return HybridPolicy{ABName: abName, SBName: sbName, ABFirst: 4}
+}
+
+// Name identifies the policy.
+func (p HybridPolicy) Name() string { return "hybrid" }
+
+// Allocations implements the §5.4.3 split.
+func (p HybridPolicy) Allocations(ph trace.Phase, k int) map[string]int {
+	if k <= 0 {
+		return map[string]int{}
+	}
+	if ph == trace.Sensemaking {
+		return map[string]int{p.SBName: k}
+	}
+	ab := p.ABFirst
+	if k < ab {
+		ab = k
+	}
+	out := map[string]int{p.ABName: ab}
+	if rest := k - ab; rest > 0 {
+		out[p.SBName] = rest
+	}
+	return out
+}
+
+// OriginalPolicy is the pre-tuning strategy of §4.4, kept for the ablation
+// bench: Navigation gives everything to AB, Sensemaking everything to SB,
+// and Foraging splits the space equally.
+type OriginalPolicy struct {
+	ABName string
+	SBName string
+}
+
+// Name identifies the policy.
+func (p OriginalPolicy) Name() string { return "original" }
+
+// Allocations implements the §4.4 per-phase table.
+func (p OriginalPolicy) Allocations(ph trace.Phase, k int) map[string]int {
+	if k <= 0 {
+		return map[string]int{}
+	}
+	switch ph {
+	case trace.Navigation:
+		return map[string]int{p.ABName: k}
+	case trace.Sensemaking:
+		return map[string]int{p.SBName: k}
+	default: // Foraging (and unknown): equal split, AB gets the odd slot.
+		half := k / 2
+		out := map[string]int{p.ABName: k - half}
+		if half > 0 {
+			out[p.SBName] = half
+		}
+		return out
+	}
+}
+
+// SinglePolicy routes every slot to one model regardless of phase; the
+// baselines (Momentum, Hotspot, lone AB or SB models) run under it.
+type SinglePolicy struct{ Model string }
+
+// Name identifies the policy.
+func (p SinglePolicy) Name() string { return "single:" + p.Model }
+
+// Allocations gives all k slots to the single model.
+func (p SinglePolicy) Allocations(ph trace.Phase, k int) map[string]int {
+	if k <= 0 {
+		return map[string]int{}
+	}
+	return map[string]int{p.Model: k}
+}

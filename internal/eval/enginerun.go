@@ -1,0 +1,139 @@
+package eval
+
+import (
+	"fmt"
+	"time"
+
+	"forecache/internal/backend"
+	"forecache/internal/core"
+	"forecache/internal/phase"
+	"forecache/internal/recommend"
+	"forecache/internal/sig"
+	"forecache/internal/trace"
+)
+
+// EngineRun reports one end-to-end middleware measurement: a model (or the
+// full hybrid engine) at one fetch size, replayed over the held-out traces
+// through the real cache manager, with the paper's latency constants.
+type EngineRun struct {
+	Model      string
+	K          int
+	HitRate    float64
+	AvgLatency time.Duration
+	Requests   int
+}
+
+// EngineSetup builds the per-fold pieces an engine needs.
+type EngineSetup func(train []*trace.Trace) (models []recommend.Model, policy core.AllocationPolicy, cls *phase.Classifier, err error)
+
+// SingleEngineSetup wraps a ModelFactory into an engine setup with all
+// slots allocated to that model and no phase classifier.
+func SingleEngineSetup(factory ModelFactory) EngineSetup {
+	return func(train []*trace.Trace) ([]recommend.Model, core.AllocationPolicy, *phase.Classifier, error) {
+		m, err := factory(train)
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		return []recommend.Model{m}, core.SinglePolicy{Model: m.Name()}, nil, nil
+	}
+}
+
+// HybridEngineSetup builds the paper's full engine: AB + SB models, the
+// trained phase classifier, and the §5.4.3 allocation policy.
+func (h *Harness) HybridEngineSetup(spec HybridSpec) EngineSetup {
+	return func(train []*trace.Trace) ([]recommend.Model, core.AllocationPolicy, *phase.Classifier, error) {
+		order := spec.ABOrder
+		if order <= 0 {
+			order = 3
+		}
+		sigs := spec.SBSigs
+		if len(sigs) == 0 {
+			sigs = []string{sig.NameSIFT}
+		}
+		ab, err := recommend.NewAB(order, train)
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		sb := recommend.NewSB(h.Pyr, recommend.WithSignatures(sigs...))
+		cls, err := phase.Train(h.sampleRequests(train), phase.TrainConfig{})
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		var policy core.AllocationPolicy = core.HybridPolicy{
+			ABName: ab.Name(), SBName: sb.Name(), ABFirst: max(spec.ABFirst, 1),
+		}
+		if spec.ABFirst <= 0 {
+			policy = core.NewHybridPolicy(ab.Name(), sb.Name())
+		}
+		if spec.UseOriginalPolicy {
+			policy = core.OriginalPolicy{ABName: ab.Name(), SBName: sb.Name()}
+		}
+		return []recommend.Model{ab, sb}, policy, cls, nil
+	}
+}
+
+// RunEngineLOO replays the held-out traces through a real middleware
+// engine (cache manager + DBMS adapter) per fold and fetch size, returning
+// hit rates and average response latency under lm. This is the measurement
+// behind Figures 12 and 13 and the §5.5 headline numbers.
+func (h *Harness) RunEngineLOO(name string, setup EngineSetup, ks []int, lm backend.LatencyModel) ([]EngineRun, error) {
+	h.withDefaults()
+	type agg struct {
+		hits, misses int
+	}
+	sums := make(map[int]*agg, len(ks))
+	for _, k := range ks {
+		sums[k] = &agg{}
+	}
+	for _, fold := range h.folds() {
+		models, policy, cls, err := setup(fold.train)
+		if err != nil {
+			return nil, fmt.Errorf("eval: engine setup %s: %w", name, err)
+		}
+		db := backend.NewDBMS(h.Pyr, lm, nil)
+		for _, k := range ks {
+			eng, err := core.NewEngine(db, cls, policy, models, core.Config{
+				K: k, D: h.D, HistoryLen: h.HistoryLen, RecentTiles: h.RecentTiles(),
+			})
+			if err != nil {
+				return nil, err
+			}
+			for _, tr := range fold.test {
+				eng.Reset()
+				for _, r := range tr.Requests {
+					if _, err := eng.Request(r.Coord); err != nil {
+						return nil, fmt.Errorf("eval: replay %s k=%d: %w", name, k, err)
+					}
+				}
+			}
+			st := eng.CacheStats()
+			sums[k].hits += st.Hits
+			sums[k].misses += st.Misses
+		}
+	}
+	out := make([]EngineRun, 0, len(ks))
+	for _, k := range ks {
+		a := sums[k]
+		total := a.hits + a.misses
+		run := EngineRun{Model: name, K: k, Requests: total}
+		if total > 0 {
+			run.HitRate = float64(a.hits) / float64(total)
+			run.AvgLatency = time.Duration(
+				(float64(a.hits)*float64(lm.Hit) + float64(a.misses)*float64(lm.Miss)) / float64(total))
+		}
+		out = append(out, run)
+	}
+	return out, nil
+}
+
+// RecentTiles is the LRU region size used in engine replays. The paper
+// reserves the remaining cache space for the last n requested tiles; we
+// use the history window size.
+func (h *Harness) RecentTiles() int { return h.HistoryLen }
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,109 @@
+package eval
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestExperimentRegistry(t *testing.T) {
+	exps := Experiments()
+	if len(exps) < 14 {
+		t.Fatalf("registry has %d experiments, want >= 14 (every table+figure+ablations)", len(exps))
+	}
+	seen := map[string]bool{}
+	for _, e := range exps {
+		if e.Name == "" || e.Paper == "" || e.Run == nil {
+			t.Errorf("incomplete experiment %+v", e)
+		}
+		if seen[e.Name] {
+			t.Errorf("duplicate experiment name %q", e.Name)
+		}
+		seen[e.Name] = true
+	}
+	for _, want := range []string{
+		"table1", "fig8", "fig9", "fig10a", "fig10b", "fig10c",
+		"fig11", "fig12", "fig13", "markov-order",
+	} {
+		if !seen[want] {
+			t.Errorf("registry missing %q", want)
+		}
+	}
+	if _, ok := Lookup("fig9"); !ok {
+		t.Error("Lookup(fig9) failed")
+	}
+	if _, ok := Lookup("fig99"); ok {
+		t.Error("Lookup of unknown name should fail")
+	}
+}
+
+func TestKSweepIsPaperRange(t *testing.T) {
+	ks := KSweep()
+	if len(ks) != 8 || ks[0] != 1 || ks[7] != 8 {
+		t.Errorf("KSweep = %v, want 1..8 (§5.2.2)", ks)
+	}
+}
+
+// Cheap experiments run end to end against the shared fixture.
+func TestCheapExperimentsRun(t *testing.T) {
+	h := harness(t)
+	h.Traces = subsetUsers(h.Traces, 4)
+	for _, name := range []string{"fig8", "fig8-users", "fig9", "ablation-d"} {
+		e, ok := Lookup(name)
+		if !ok {
+			t.Fatalf("missing experiment %s", name)
+		}
+		var buf bytes.Buffer
+		if err := e.Run(&buf, h); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if buf.Len() == 0 {
+			t.Errorf("%s produced no output", name)
+		}
+	}
+}
+
+func TestFig10aExperimentOutput(t *testing.T) {
+	h := harness(t)
+	h.Traces = subsetUsers(h.Traces, 4)
+	e, _ := Lookup("fig10a")
+	var buf bytes.Buffer
+	if err := e.Run(&buf, h); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"markov3", "momentum", "hotspot", "Navigation"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("fig10a output missing %q", want)
+		}
+	}
+}
+
+func TestMarkovOrderExperiment(t *testing.T) {
+	h := harness(t)
+	h.Traces = subsetUsers(h.Traces, 3)
+	e, _ := Lookup("markov-order")
+	var buf bytes.Buffer
+	if err := e.Run(&buf, h); err != nil {
+		t.Fatal(err)
+	}
+	// Must have one row per order 2..10.
+	for _, n := range []string{"  2 ", "  10"} {
+		if !strings.Contains(buf.String(), strings.TrimRight(n, " ")) {
+			t.Errorf("markov-order output missing order %s", n)
+		}
+	}
+}
+
+func TestSBAblationExperiment(t *testing.T) {
+	h := harness(t)
+	h.Traces = subsetUsers(h.Traces, 3)
+	e, _ := Lookup("ablation-sb")
+	var buf bytes.Buffer
+	if err := e.Run(&buf, h); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "sb:sift/div") {
+		t.Error("ablation output missing division variant")
+	}
+}

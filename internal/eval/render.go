@@ -1,0 +1,196 @@
+package eval
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"time"
+
+	"forecache/internal/study"
+	"forecache/internal/trace"
+)
+
+// Renderers for the paper's tables and figures. Each prints a plain-text
+// reproduction of one artifact; EXPERIMENTS.md records the paper's
+// published values next to these outputs.
+
+// RenderTable1 prints the per-feature phase-classifier accuracies
+// (Table 1) plus the overall six-feature accuracy (§5.4.1, 82%).
+func RenderTable1(w io.Writer, rows []PhaseResult) {
+	fmt.Fprintln(w, "Table 1: SVM phase classifier accuracy per input feature (LOO-CV)")
+	fmt.Fprintf(w, "  %-22s %s\n", "feature", "accuracy")
+	for _, r := range rows {
+		fmt.Fprintf(w, "  %-22s %.3f\n", r.Label, r.Accuracy())
+	}
+}
+
+// RenderFig8 prints the move and phase distributions per task (Figures 8a
+// and 8b).
+func RenderFig8(w io.Writer, traces []*trace.Trace) {
+	fmt.Fprintln(w, "Figure 8a/8b: move and phase distribution per task (averaged over users)")
+	fmt.Fprintf(w, "  %-6s %8s %8s %8s | %9s %11s %12s %9s\n",
+		"task", "pan", "zoom-in", "zoom-out", "Foraging", "Navigation", "Sensemaking", "requests")
+	for _, s := range study.Summarize(traces) {
+		fmt.Fprintf(w, "  %-6d %8.3f %8.3f %8.3f | %9.3f %11.3f %12.3f %9d\n",
+			s.Task, s.PanFrac, s.InFrac, s.OutFrac,
+			s.PhaseFrac[trace.Foraging], s.PhaseFrac[trace.Navigation], s.PhaseFrac[trace.Sensemaking],
+			s.Requests)
+	}
+}
+
+// RenderFig8Users prints each user's move mix per task (Figures 8c-8e),
+// grouping users with similar distributions.
+func RenderFig8Users(w io.Writer, traces []*trace.Trace) {
+	byTask := map[int][]*trace.Trace{}
+	for _, t := range traces {
+		byTask[t.Task] = append(byTask[t.Task], t)
+	}
+	var tasks []int
+	for id := range byTask {
+		tasks = append(tasks, id)
+	}
+	sort.Ints(tasks)
+	for _, id := range tasks {
+		fmt.Fprintf(w, "Figure 8%c: per-user move mix, task %d (pan/in/out)\n", 'b'+id, id)
+		ts := byTask[id]
+		sort.Slice(ts, func(i, j int) bool {
+			pi, ii, oi := ts[i].MoveCounts()
+			pj, ij, oj := ts[j].MoveCounts()
+			fi := float64(pi) / float64(pi+ii+oi+1)
+			fj := float64(pj) / float64(pj+ij+oj+1)
+			return fi > fj
+		})
+		for _, t := range ts {
+			p, in, out := t.MoveCounts()
+			total := p + in + out
+			if total == 0 {
+				total = 1
+			}
+			fmt.Fprintf(w, "  user %2d: %5.2f %5.2f %5.2f  %s\n",
+				t.User, float64(p)/float64(total), float64(in)/float64(total), float64(out)/float64(total),
+				bar(float64(p)/float64(total), 20))
+		}
+	}
+}
+
+// RenderFig9 prints one user's zoom level per request — the sawtooth of
+// Figure 9. Coarse levels print at the top as in the paper (y-axis is
+// inverted: level 0 on top).
+func RenderFig9(w io.Writer, tr *trace.Trace, levels int) {
+	fmt.Fprintf(w, "Figure 9: zoom level per request (user %d, task %d)\n", tr.User, tr.Task)
+	for level := 0; level < levels; level++ {
+		fmt.Fprintf(w, "  L%d |", level)
+		for _, r := range tr.Requests {
+			if r.Coord.Level == level {
+				fmt.Fprint(w, "*")
+			} else {
+				fmt.Fprint(w, " ")
+			}
+		}
+		fmt.Fprintln(w)
+	}
+	fmt.Fprintf(w, "      %s> request #\n", strings.Repeat("-", len(tr.Requests)))
+}
+
+// RenderAccuracyByPhase prints one accuracy figure (10a, 10b, 10c or 11):
+// per analysis phase, one row per fetch size k, one column per model.
+func RenderAccuracyByPhase(w io.Writer, title string, t *Table, models []string, ks []int) {
+	fmt.Fprintln(w, title)
+	phases := append([]trace.Phase{trace.PhaseUnknown}, trace.AllPhases()...)
+	for _, ph := range phases {
+		label := ph.String()
+		if ph == trace.PhaseUnknown {
+			label = "Overall"
+		}
+		fmt.Fprintf(w, "  [%s]\n", label)
+		fmt.Fprintf(w, "  %-4s", "k")
+		for _, m := range models {
+			fmt.Fprintf(w, " %12s", m)
+		}
+		fmt.Fprintln(w)
+		for _, k := range ks {
+			fmt.Fprintf(w, "  %-4d", k)
+			for _, m := range models {
+				fmt.Fprintf(w, " %12.3f", t.Get(m, k, ph).Accuracy())
+			}
+			fmt.Fprintln(w)
+		}
+	}
+}
+
+// RenderFig12 prints the latency-vs-accuracy points and their linear fit
+// (Figure 12; the paper reports slope -939.08, intercept 961.33, adjusted
+// R^2 0.99985).
+func RenderFig12(w io.Writer, runs []EngineRun) Regression {
+	fmt.Fprintln(w, "Figure 12: average response time vs prefetch accuracy (all models, all k)")
+	fmt.Fprintf(w, "  %-10s %3s %9s %12s\n", "model", "k", "accuracy", "avg latency")
+	var xs, ys []float64
+	for _, r := range runs {
+		fmt.Fprintf(w, "  %-10s %3d %9.3f %12s\n", r.Model, r.K, r.HitRate, r.AvgLatency.Round(time.Millisecond))
+		xs = append(xs, r.HitRate*100) // percent, like the paper's axis
+		ys = append(ys, float64(r.AvgLatency)/float64(time.Millisecond))
+	}
+	reg := Fit(xs, ys)
+	fmt.Fprintf(w, "  linear fit: latency(ms) = %.2f + %.2f * accuracy(%%)   R^2 = %.5f  (paper: 961.33 - 9.39*acc%%, R^2 0.99985)\n",
+		reg.Intercept, reg.Slope, reg.R2)
+	return reg
+}
+
+// RenderFig13 prints average prefetching response times per fetch size for
+// the given models (Figure 13).
+func RenderFig13(w io.Writer, runs []EngineRun, models []string, ks []int) {
+	fmt.Fprintln(w, "Figure 13: average response time per fetch size k")
+	index := map[string]map[int]EngineRun{}
+	for _, r := range runs {
+		if index[r.Model] == nil {
+			index[r.Model] = map[int]EngineRun{}
+		}
+		index[r.Model][r.K] = r
+	}
+	fmt.Fprintf(w, "  %-4s", "k")
+	for _, m := range models {
+		fmt.Fprintf(w, " %12s", m)
+	}
+	fmt.Fprintln(w)
+	for _, k := range ks {
+		fmt.Fprintf(w, "  %-4d", k)
+		for _, m := range models {
+			fmt.Fprintf(w, " %12s", index[m][k].AvgLatency.Round(time.Millisecond))
+		}
+		fmt.Fprintln(w)
+	}
+}
+
+// RenderHeadline prints the §5.5 summary comparison at k=5: hybrid vs the
+// best existing prefetcher vs a traditional non-prefetching system.
+func RenderHeadline(w io.Writer, hybrid, momentum, hotspot EngineRun, missLatency time.Duration) {
+	fmt.Fprintln(w, "Headline (§5.5), fetch size k = 5:")
+	noPrefetch := float64(missLatency)
+	fmt.Fprintf(w, "  no prefetching:   %12s\n", missLatency.Round(time.Millisecond))
+	fmt.Fprintf(w, "  momentum:         %12s\n", momentum.AvgLatency.Round(time.Millisecond))
+	fmt.Fprintf(w, "  hotspot:          %12s\n", hotspot.AvgLatency.Round(time.Millisecond))
+	fmt.Fprintf(w, "  hybrid (ours):    %12s  accuracy %.1f%%\n",
+		hybrid.AvgLatency.Round(time.Millisecond), hybrid.HitRate*100)
+	if hybrid.AvgLatency > 0 {
+		impTrad := (noPrefetch - float64(hybrid.AvgLatency)) / float64(hybrid.AvgLatency) * 100
+		best := momentum.AvgLatency
+		if hotspot.AvgLatency < best {
+			best = hotspot.AvgLatency
+		}
+		impPrefetch := (float64(best) - float64(hybrid.AvgLatency)) / float64(hybrid.AvgLatency) * 100
+		fmt.Fprintf(w, "  improvement vs no-prefetch: %.0f%%  (paper: 430%%)\n", impTrad)
+		fmt.Fprintf(w, "  improvement vs best existing prefetcher: %.0f%%  (paper: 88%%)\n", impPrefetch)
+	}
+}
+
+func bar(frac float64, width int) string {
+	n := int(frac * float64(width))
+	if n < 0 {
+		n = 0
+	}
+	if n > width {
+		n = width
+	}
+	return strings.Repeat("#", n) + strings.Repeat(".", width-n)
+}

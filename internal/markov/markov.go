@@ -1,0 +1,194 @@
+// Package markov implements the n-th-order Markov chain behind ForeCache's
+// Actions-Based recommender (paper §4.3.2, Algorithm 2).
+//
+// States are length-n sequences of interface moves; transitions are the
+// move taken next. Transition frequencies are learned from user traces and
+// smoothed with interpolated Kneser–Ney (Chen & Goodman), the smoothing
+// method the paper applies via the BerkeleyLM library. Symbols are opaque
+// strings so the chain is reusable for any discrete action alphabet.
+package markov
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// discount is the Kneser–Ney absolute-discount constant. 0.75 is the
+// standard default from the language-modeling literature.
+const discount = 0.75
+
+// Prediction pairs a symbol with its smoothed probability.
+type Prediction struct {
+	Symbol string
+	P      float64
+}
+
+// Chain is an n-th-order Markov chain with Kneser–Ney smoothing. It must be
+// built with New and trained with Train/Observe before use.
+type Chain struct {
+	order int
+	vocab map[string]bool
+
+	// counts[k] maps a length-k context (joined with '\x1f') to the raw (for
+	// k == order) or continuation (for k < order) counts of next symbols.
+	counts []map[string]map[string]float64
+	// totals[k][ctx] caches the sum over counts[k][ctx].
+	totals []map[string]float64
+}
+
+// New returns an untrained chain of the given order (context length).
+// Order must be at least 1.
+func New(order int) (*Chain, error) {
+	if order < 1 {
+		return nil, fmt.Errorf("markov: order must be >= 1, got %d", order)
+	}
+	c := &Chain{
+		order:  order,
+		vocab:  make(map[string]bool),
+		counts: make([]map[string]map[string]float64, order+1),
+		totals: make([]map[string]float64, order+1),
+	}
+	for k := range c.counts {
+		c.counts[k] = make(map[string]map[string]float64)
+		c.totals[k] = make(map[string]float64)
+	}
+	return c, nil
+}
+
+// Order returns the chain's context length n.
+func (c *Chain) Order() int { return c.order }
+
+// Vocab returns the known symbols in sorted order.
+func (c *Chain) Vocab() []string {
+	out := make([]string, 0, len(c.vocab))
+	for s := range c.vocab {
+		out = append(out, s)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func key(ctx []string) string { return strings.Join(ctx, "\x1f") }
+
+// Train processes a set of traces, each an ordered sequence of moves,
+// implementing Algorithm 2: every length-n subsequence is a state and the
+// following move increments that state's transition counter.
+func (c *Chain) Train(seqs [][]string) {
+	for _, seq := range seqs {
+		c.Observe(seq)
+	}
+	c.rebuildContinuations()
+}
+
+// Observe incorporates a single trace. Callers streaming observations one
+// trace at a time should call FinishTraining afterwards (Train does both).
+func (c *Chain) Observe(seq []string) {
+	for _, s := range seq {
+		c.vocab[s] = true
+	}
+	n := c.order
+	for i := n; i < len(seq); i++ {
+		ctx := seq[i-n : i]
+		next := seq[i]
+		c.bump(n, key(ctx), next, 1)
+	}
+}
+
+// FinishTraining recomputes the lower-order continuation counts. It must be
+// called after the last Observe (Train calls it automatically).
+func (c *Chain) FinishTraining() { c.rebuildContinuations() }
+
+func (c *Chain) bump(k int, ctx, next string, delta float64) {
+	m := c.counts[k][ctx]
+	if m == nil {
+		m = make(map[string]float64)
+		c.counts[k][ctx] = m
+	}
+	m[next] += delta
+	c.totals[k][ctx] += delta
+}
+
+// rebuildContinuations fills orders 0..n-1 with Kneser–Ney continuation
+// counts: the count of a (ctx, w) pair at order k is the number of distinct
+// symbols u such that the (u·ctx, w) transition was seen at order k+1.
+func (c *Chain) rebuildContinuations() {
+	for k := c.order - 1; k >= 0; k-- {
+		c.counts[k] = make(map[string]map[string]float64)
+		c.totals[k] = make(map[string]float64)
+		for ctx, dist := range c.counts[k+1] {
+			// Drop the oldest symbol (the first) to get the shorter context.
+			var shorter string
+			if i := strings.IndexByte(ctx, '\x1f'); i >= 0 {
+				shorter = ctx[i+1:]
+			} else {
+				shorter = ""
+			}
+			for w, cnt := range dist {
+				if cnt > 0 {
+					c.bump(k, shorter, w, 1)
+				}
+			}
+		}
+	}
+}
+
+// Prob returns the interpolated Kneser–Ney probability of next following
+// the given context. Contexts longer than the order use only the most
+// recent n symbols; shorter contexts back off from their own length.
+func (c *Chain) Prob(ctx []string, next string) float64 {
+	if len(c.vocab) == 0 {
+		return 0
+	}
+	k := len(ctx)
+	if k > c.order {
+		ctx = ctx[len(ctx)-c.order:]
+		k = c.order
+	}
+	return c.probAt(k, ctx, next)
+}
+
+func (c *Chain) probAt(k int, ctx []string, next string) float64 {
+	if k < 0 {
+		return 1 / float64(len(c.vocab))
+	}
+	ck := key(ctx)
+	total := c.totals[k][ck]
+	var shorter []string
+	if len(ctx) > 0 {
+		shorter = ctx[1:]
+	}
+	if total == 0 {
+		return c.probAt(k-1, shorter, next)
+	}
+	dist := c.counts[k][ck]
+	cnt := dist[next]
+	distinct := float64(len(dist))
+	p := 0.0
+	if cnt > discount {
+		p = (cnt - discount) / total
+	}
+	lambda := discount * distinct / total
+	return p + lambda*c.probAt(k-1, shorter, next)
+}
+
+// Predict returns every known symbol ranked by probability given the
+// context, highest first. Ties break alphabetically for determinism.
+func (c *Chain) Predict(ctx []string) []Prediction {
+	vocab := c.Vocab()
+	out := make([]Prediction, 0, len(vocab))
+	for _, s := range vocab {
+		out = append(out, Prediction{Symbol: s, P: c.Prob(ctx, s)})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].P != out[j].P {
+			return out[i].P > out[j].P
+		}
+		return out[i].Symbol < out[j].Symbol
+	})
+	return out
+}
+
+// StateCount returns the number of distinct length-n states observed,
+// useful for inspecting model size (the paper's Markov2..Markov10 sweep).
+func (c *Chain) StateCount() int { return len(c.counts[c.order]) }

@@ -1,0 +1,258 @@
+package markov
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewRejectsBadOrder(t *testing.T) {
+	if _, err := New(0); err == nil {
+		t.Error("order 0 should fail")
+	}
+	if _, err := New(-1); err == nil {
+		t.Error("negative order should fail")
+	}
+}
+
+func TestTrainedChainPrefersObservedTransition(t *testing.T) {
+	c, err := New(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// "after three lefts comes a fourth left" appears repeatedly.
+	var seqs [][]string
+	for i := 0; i < 10; i++ {
+		seqs = append(seqs, []string{"left", "left", "left", "left", "up"})
+	}
+	seqs = append(seqs, []string{"left", "left", "left", "down"})
+	c.Train(seqs)
+	ctx := []string{"left", "left", "left"}
+	pLeft := c.Prob(ctx, "left")
+	pDown := c.Prob(ctx, "down")
+	pUp := c.Prob(ctx, "up")
+	if !(pLeft > pDown && pDown > 0 && pUp > 0) {
+		t.Errorf("P(left)=%v P(down)=%v P(up)=%v", pLeft, pDown, pUp)
+	}
+}
+
+func TestProbabilitiesSumToOne(t *testing.T) {
+	c, _ := New(2)
+	rng := rand.New(rand.NewSource(3))
+	vocab := []string{"a", "b", "c", "d"}
+	var seqs [][]string
+	for i := 0; i < 20; i++ {
+		seq := make([]string, 30)
+		for j := range seq {
+			seq[j] = vocab[rng.Intn(len(vocab))]
+		}
+		seqs = append(seqs, seq)
+	}
+	c.Train(seqs)
+	contexts := [][]string{
+		{"a", "b"}, {"c", "c"}, {"d", "a"},
+		{"a"},           // shorter than order
+		{"b", "c", "d"}, // longer than order
+		{},              // empty
+	}
+	for _, ctx := range contexts {
+		sum := 0.0
+		for _, s := range vocab {
+			sum += c.Prob(ctx, s)
+		}
+		if math.Abs(sum-1) > 1e-9 {
+			t.Errorf("context %v: probabilities sum to %v", ctx, sum)
+		}
+	}
+}
+
+func TestUnseenContextBacksOff(t *testing.T) {
+	c, _ := New(3)
+	c.Train([][]string{{"a", "a", "a", "b", "b", "b", "b"}})
+	// Context never observed: must still produce a proper distribution.
+	p := c.Prob([]string{"b", "a", "b"}, "b")
+	if p <= 0 || p >= 1 {
+		t.Errorf("backoff probability = %v, want in (0,1)", p)
+	}
+	// Unseen symbol-in-context gets smoothed nonzero mass.
+	if p := c.Prob([]string{"a", "a", "a"}, "a"); p <= 0 {
+		t.Errorf("smoothed unseen transition = %v, want > 0", p)
+	}
+}
+
+func TestKneserNeyContinuationEffect(t *testing.T) {
+	// "b" follows many different contexts; "c" follows only one, with a
+	// higher raw count. Under an unseen context the continuation-based
+	// unigram should favor the versatile "b" (the classic "San Francisco"
+	// effect that distinguishes KN from simple add-one smoothing).
+	c, _ := New(2)
+	seqs := [][]string{
+		{"a", "a", "b"}, {"a", "d", "b"}, {"a", "e", "b"}, {"a", "f", "b"},
+		{"g", "g", "c"}, {"g", "g", "c"}, {"g", "g", "c"}, {"g", "g", "c"},
+		{"g", "g", "c"}, {"g", "g", "c"},
+	}
+	c.Train(seqs)
+	ctx := []string{"zz", "zz"} // fully unseen context
+	pb := c.Prob(ctx, "b")
+	pc := c.Prob(ctx, "c")
+	if !(pb > pc) {
+		t.Errorf("continuation: P(b)=%v should exceed P(c)=%v under unseen context", pb, pc)
+	}
+}
+
+func TestPredictRankedAndDeterministic(t *testing.T) {
+	build := func() []Prediction {
+		c, _ := New(3)
+		c.Train([][]string{
+			{"in", "in", "in", "in", "out"},
+			{"in", "in", "in", "in"},
+			{"out", "out", "out", "out"},
+		})
+		return c.Predict([]string{"in", "in", "in"})
+	}
+	a := build()
+	b := build()
+	if len(a) == 0 || a[0].Symbol != "in" {
+		t.Fatalf("top prediction = %+v, want 'in'", a)
+	}
+	for i := 1; i < len(a); i++ {
+		if a[i].P > a[i-1].P {
+			t.Fatalf("predictions not sorted: %+v", a)
+		}
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("Predict not deterministic")
+		}
+	}
+}
+
+func TestObserveThenFinishTraining(t *testing.T) {
+	c, _ := New(2)
+	c.Observe([]string{"x", "y", "z", "x", "y", "z"})
+	c.FinishTraining()
+	if p := c.Prob([]string{"x", "y"}, "z"); p < 0.5 {
+		t.Errorf("P(z | x,y) = %v, want dominant", p)
+	}
+}
+
+func TestUntrainedChain(t *testing.T) {
+	c, _ := New(3)
+	if p := c.Prob([]string{"a", "b", "c"}, "d"); p != 0 {
+		t.Errorf("untrained chain prob = %v, want 0", p)
+	}
+	if preds := c.Predict([]string{"a"}); len(preds) != 0 {
+		t.Errorf("untrained chain predictions = %v", preds)
+	}
+}
+
+func TestStateCount(t *testing.T) {
+	c, _ := New(2)
+	c.Train([][]string{{"a", "b", "c", "a", "b"}})
+	// States observed: (a,b)->c, (b,c)->a, (c,a)->b => 3 distinct.
+	if got := c.StateCount(); got != 3 {
+		t.Errorf("StateCount = %d, want 3", got)
+	}
+}
+
+func TestHigherOrderCapturesLongerPatterns(t *testing.T) {
+	// The pattern "a a b -> x" vs "b a b -> y" is invisible to order 1
+	// (context "b" is ambiguous) but separable at order 3.
+	seqs := [][]string{}
+	for i := 0; i < 10; i++ {
+		seqs = append(seqs, []string{"a", "a", "b", "x"})
+		seqs = append(seqs, []string{"b", "a", "b", "y"})
+	}
+	c3, _ := New(3)
+	c3.Train(seqs)
+	c1, _ := New(1)
+	c1.Train(seqs)
+	p3 := c3.Prob([]string{"a", "a", "b"}, "x")
+	p1 := c1.Prob([]string{"b"}, "x")
+	if !(p3 > p1) {
+		t.Errorf("order-3 P(x)=%v should exceed order-1 P(x)=%v", p3, p1)
+	}
+	if p3 < 0.6 {
+		t.Errorf("order-3 should be confident, got %v", p3)
+	}
+}
+
+// Property: for random corpora, all probabilities are valid and the
+// distribution over the vocabulary sums to 1 in every observed context.
+func TestProbDistributionProperty(t *testing.T) {
+	vocab := []string{"u", "d", "l", "r", "o", "i"}
+	f := func(seed int64, orderRaw uint8) bool {
+		order := int(orderRaw%4) + 1
+		rng := rand.New(rand.NewSource(seed))
+		c, err := New(order)
+		if err != nil {
+			return false
+		}
+		var seqs [][]string
+		for i := 0; i < 5; i++ {
+			seq := make([]string, 12+rng.Intn(10))
+			for j := range seq {
+				seq[j] = vocab[rng.Intn(len(vocab))]
+			}
+			seqs = append(seqs, seq)
+		}
+		c.Train(seqs)
+		ctx := make([]string, order)
+		for j := range ctx {
+			ctx[j] = vocab[rng.Intn(len(vocab))]
+		}
+		sum := 0.0
+		for _, s := range c.Vocab() {
+			p := c.Prob(ctx, s)
+			if p < 0 || p > 1 || math.IsNaN(p) {
+				return false
+			}
+			sum += p
+		}
+		return math.Abs(sum-1) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkTrainOrder3(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	vocab := []string{"u", "d", "l", "r", "o", "inw", "ine", "isw", "ise"}
+	var seqs [][]string
+	for i := 0; i < 54; i++ {
+		seq := make([]string, 30)
+		for j := range seq {
+			seq[j] = vocab[rng.Intn(len(vocab))]
+		}
+		seqs = append(seqs, seq)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c, _ := New(3)
+		c.Train(seqs)
+	}
+}
+
+func BenchmarkPredict(b *testing.B) {
+	c, _ := New(3)
+	rng := rand.New(rand.NewSource(1))
+	vocab := []string{"u", "d", "l", "r", "o", "inw", "ine", "isw", "ise"}
+	var seqs [][]string
+	for i := 0; i < 54; i++ {
+		seq := make([]string, 30)
+		for j := range seq {
+			seq[j] = vocab[rng.Intn(len(vocab))]
+		}
+		seqs = append(seqs, seq)
+	}
+	c.Train(seqs)
+	ctx := []string{"u", "u", "u"}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Predict(ctx)
+	}
+}

@@ -1,0 +1,208 @@
+// Package phase implements ForeCache's analysis-phase model: feature
+// extraction per Table 1, a rule-based reference labeler standing in for
+// the paper's hand labeling, and the SVM classifier that predicts the
+// user's current phase from her recent requests (paper §4.2).
+//
+// The three phases (defined in package trace, next to the labeled request
+// type) are:
+//
+//	Foraging     scanning coarse zoom levels for interesting regions
+//	Sensemaking  comparing neighboring tiles at detailed zoom levels
+//	Navigation   zooming between the coarse and detailed levels
+package phase
+
+import (
+	"fmt"
+
+	"forecache/internal/svm"
+	"forecache/internal/trace"
+)
+
+// FeatureNames lists the six Table 1 features in vector order.
+var FeatureNames = []string{
+	"x-position", "y-position", "zoom-level",
+	"pan-flag", "zoom-in-flag", "zoom-out-flag",
+}
+
+// NumFeatures is the full feature vector length.
+const NumFeatures = 6
+
+// Features computes the Table 1 feature vector for a request: the tile's
+// X and Y positions (in tiles), its zoom level, and three move flags
+// describing how the user arrived there.
+func Features(r trace.Request) []float64 {
+	f := make([]float64, NumFeatures)
+	f[0] = float64(r.Coord.X)
+	f[1] = float64(r.Coord.Y)
+	f[2] = float64(r.Coord.Level)
+	if r.Move.IsPan() {
+		f[3] = 1
+	}
+	if r.Move.IsZoomIn() {
+		f[4] = 1
+	}
+	if r.Move.IsZoomOut() {
+		f[5] = 1
+	}
+	return f
+}
+
+// LabelerConfig parameterizes the rule-based reference labeler. Zoom
+// levels are split into coarse / middle / detailed bands by fractions of
+// the pyramid depth.
+type LabelerConfig struct {
+	// Levels is the pyramid's zoom-level count.
+	Levels int
+	// CoarseFrac bounds the Foraging band: levels < CoarseFrac*(Levels-1)
+	// are coarse. Defaults to 0.4.
+	CoarseFrac float64
+	// DetailFrac bounds the Sensemaking band: levels >=
+	// DetailFrac*(Levels-1) are detailed. Defaults to 0.75.
+	DetailFrac float64
+}
+
+func (c LabelerConfig) withDefaults() LabelerConfig {
+	if c.CoarseFrac <= 0 {
+		c.CoarseFrac = 0.4
+	}
+	if c.DetailFrac <= 0 {
+		c.DetailFrac = 0.75
+	}
+	return c
+}
+
+// coarseMax returns the highest level still considered coarse.
+func (c LabelerConfig) coarseMax() int {
+	return int(c.CoarseFrac * float64(c.Levels-1))
+}
+
+// detailMin returns the lowest level considered detailed.
+func (c LabelerConfig) detailMin() int {
+	m := int(c.DetailFrac * float64(c.Levels-1))
+	if m <= c.coarseMax() {
+		m = c.coarseMax() + 1
+	}
+	return m
+}
+
+// Label assigns an analysis phase to a single request with the rule set we
+// used in place of the paper's hand labeling:
+//
+//   - requests at coarse levels are Foraging (the user is scanning for
+//     regions of interest);
+//   - pans at detailed levels are Sensemaking (comparing neighbors);
+//   - everything else — zoom chains and mid-level travel — is Navigation.
+func Label(r trace.Request, cfg LabelerConfig) trace.Phase {
+	cfg = cfg.withDefaults()
+	switch {
+	case r.Coord.Level <= cfg.coarseMax():
+		return trace.Foraging
+	case r.Coord.Level >= cfg.detailMin() && (r.Move.IsPan() || r.Move == trace.None):
+		return trace.Sensemaking
+	default:
+		return trace.Navigation
+	}
+}
+
+// LabelTrace labels every request of the trace in place and returns it.
+func LabelTrace(t *trace.Trace, cfg LabelerConfig) *trace.Trace {
+	for i := range t.Requests {
+		t.Requests[i].Phase = Label(t.Requests[i], cfg)
+	}
+	return t
+}
+
+// Classifier predicts the user's current analysis phase from a request's
+// features with a multi-class RBF-kernel SVM (paper §4.2.2). A Classifier
+// may be restricted to a subset of the Table 1 features, which is how the
+// per-feature accuracy column of Table 1 is reproduced.
+type Classifier struct {
+	svm      *svm.Classifier
+	features []int // indices into the full feature vector
+}
+
+// TrainConfig controls classifier training.
+type TrainConfig struct {
+	// Features selects feature indices (into FeatureNames); nil means all.
+	Features []int
+	// SVM overrides the underlying SVM configuration.
+	SVM svm.Config
+}
+
+// Train fits the phase classifier on labeled requests (Phase must be set
+// on every request; unlabeled requests are skipped).
+func Train(reqs []trace.Request, cfg TrainConfig) (*Classifier, error) {
+	features := cfg.Features
+	if len(features) == 0 {
+		features = make([]int, NumFeatures)
+		for i := range features {
+			features[i] = i
+		}
+	}
+	for _, fi := range features {
+		if fi < 0 || fi >= NumFeatures {
+			return nil, fmt.Errorf("phase: feature index %d outside [0,%d)", fi, NumFeatures)
+		}
+	}
+	var x [][]float64
+	var y []int
+	for _, r := range reqs {
+		if r.Phase == trace.PhaseUnknown {
+			continue
+		}
+		full := Features(r)
+		row := make([]float64, len(features))
+		for i, fi := range features {
+			row[i] = full[fi]
+		}
+		x = append(x, row)
+		y = append(y, int(r.Phase))
+	}
+	if len(x) == 0 {
+		return nil, fmt.Errorf("phase: no labeled requests to train on")
+	}
+	m, err := svm.Train(x, y, cfg.SVM)
+	if err != nil {
+		return nil, fmt.Errorf("phase: %w", err)
+	}
+	return &Classifier{svm: m, features: features}, nil
+}
+
+// Predict returns the predicted phase for a request.
+func (c *Classifier) Predict(r trace.Request) trace.Phase {
+	full := Features(r)
+	row := make([]float64, len(c.features))
+	for i, fi := range c.features {
+		row[i] = full[fi]
+	}
+	return trace.Phase(c.svm.Predict(row))
+}
+
+// Accuracy scores the classifier against labeled requests, returning the
+// fraction predicted correctly (unlabeled requests are skipped).
+func (c *Classifier) Accuracy(reqs []trace.Request) float64 {
+	correct, total := 0, 0
+	for _, r := range reqs {
+		if r.Phase == trace.PhaseUnknown {
+			continue
+		}
+		total++
+		if c.Predict(r) == r.Phase {
+			correct++
+		}
+	}
+	if total == 0 {
+		return 0
+	}
+	return float64(correct) / float64(total)
+}
+
+// Requests flattens traces into one labeled request list, the training
+// currency of this package.
+func Requests(traces []*trace.Trace) []trace.Request {
+	var out []trace.Request
+	for _, t := range traces {
+		out = append(out, t.Requests...)
+	}
+	return out
+}

@@ -1,0 +1,143 @@
+package recommend
+
+import (
+	"sort"
+
+	"forecache/internal/tile"
+	"forecache/internal/trace"
+)
+
+// Momentum is the baseline from Doshi et al. (paper §5.2.3): the user's
+// next move will match her previous move. The matching tile gets
+// probability 0.9 and the eight other candidates 0.0125 each — the exact
+// constants the paper uses. It is a first-order Markov chain with a
+// hand-fixed transition matrix.
+type Momentum struct{}
+
+// NewMomentum returns the Momentum baseline.
+func NewMomentum() *Momentum { return &Momentum{} }
+
+// Name identifies the model.
+func (m *Momentum) Name() string { return "momentum" }
+
+// Observe is a no-op.
+func (m *Momentum) Observe(trace.Request) {}
+
+// Reset is a no-op.
+func (m *Momentum) Reset() {}
+
+// Predict assigns 0.9 to the candidate reached by repeating the previous
+// move and 0.0125 to every other candidate.
+func (m *Momentum) Predict(req trace.Request, cands []Candidate, h *trace.History) []Ranked {
+	repeat := trace.Apply(req.Coord, req.Move)
+	out := make([]Ranked, 0, len(cands))
+	for _, c := range cands {
+		score := 0.0125
+		if req.Move != trace.None && c.Coord == repeat && len(c.Moves) == 1 {
+			score = 0.9
+		}
+		out = append(out, Ranked{Coord: c.Coord, Score: score})
+	}
+	return sortRanked(out)
+}
+
+// Hotspot extends Momentum with awareness of popular tiles (paper §5.2.3):
+// the most-requested tiles in the training traces become hotspots; when
+// the user is near one, candidates that move her closer to it are ranked
+// above the rest, otherwise the model behaves exactly like Momentum.
+type Hotspot struct {
+	momentum *Momentum
+	hotspots []tile.Coord
+	// radius is how near (Manhattan tiles, at the deeper of the two levels)
+	// a hotspot must be to take over the ranking.
+	radius int
+}
+
+// NewHotspot trains the Hotspot baseline: the n most-requested tiles in
+// the traces become hotspots. The paper trains this "ahead of time" on the
+// same study traces used for the Markov models.
+func NewHotspot(traces []*trace.Trace, n, radius int) *Hotspot {
+	if n <= 0 {
+		n = 8
+	}
+	if radius <= 0 {
+		radius = 3
+	}
+	counts := make(map[tile.Coord]int)
+	for _, t := range traces {
+		for _, r := range t.Requests {
+			counts[r.Coord]++
+		}
+	}
+	coords := make([]tile.Coord, 0, len(counts))
+	for c := range counts {
+		coords = append(coords, c)
+	}
+	sort.Slice(coords, func(i, j int) bool {
+		if counts[coords[i]] != counts[coords[j]] {
+			return counts[coords[i]] > counts[coords[j]]
+		}
+		a, b := coords[i], coords[j]
+		if a.Level != b.Level {
+			return a.Level < b.Level
+		}
+		if a.Y != b.Y {
+			return a.Y < b.Y
+		}
+		return a.X < b.X
+	})
+	if len(coords) > n {
+		coords = coords[:n]
+	}
+	return &Hotspot{momentum: NewMomentum(), hotspots: coords, radius: radius}
+}
+
+// Name identifies the model.
+func (m *Hotspot) Name() string { return "hotspot" }
+
+// Observe is a no-op.
+func (m *Hotspot) Observe(trace.Request) {}
+
+// Reset is a no-op.
+func (m *Hotspot) Reset() {}
+
+// Hotspots exposes the trained hotspot tiles (for inspection and tests).
+func (m *Hotspot) Hotspots() []tile.Coord { return append([]tile.Coord(nil), m.hotspots...) }
+
+// Predict behaves like Momentum unless a hotspot is within radius of the
+// current tile; then candidates are re-scored by how much closer they
+// bring the user to the nearest hotspot.
+func (m *Hotspot) Predict(req trace.Request, cands []Candidate, h *trace.History) []Ranked {
+	base := m.momentum.Predict(req, cands, h)
+	nearest, dist := m.nearest(req.Coord)
+	if dist > m.radius {
+		return base
+	}
+	scores := make(map[tile.Coord]float64, len(base))
+	for _, r := range base {
+		scores[r.Coord] = r.Score
+	}
+	out := make([]Ranked, 0, len(base))
+	for _, r := range base {
+		d := r.Coord.ManhattanTo(nearest)
+		// Approach bonus dominates the momentum prior; among approaching
+		// tiles, closer is better.
+		bonus := 0.0
+		if d < dist {
+			bonus = 2 + 1/float64(1+d)
+		}
+		out = append(out, Ranked{Coord: r.Coord, Score: scores[r.Coord] + bonus})
+	}
+	return sortRanked(out)
+}
+
+func (m *Hotspot) nearest(c tile.Coord) (tile.Coord, int) {
+	best := tile.Coord{}
+	bestD := 1 << 30
+	for _, hc := range m.hotspots {
+		if d := c.ManhattanTo(hc); d < bestD {
+			best, bestD = hc, d
+		}
+	}
+	return best, bestD
+}

@@ -1,0 +1,164 @@
+// Package server exposes the ForeCache middleware over HTTP: the tile API
+// the client-side visualizer talks to (Figure 5's front-end boundary).
+// Each browser session gets its own prediction engine, history and cache,
+// keyed by a session identifier.
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strconv"
+	"sync"
+	"time"
+
+	"forecache/internal/core"
+	"forecache/internal/tile"
+)
+
+// Meta describes the served dataset to clients.
+type Meta struct {
+	Levels   int      `json:"levels"`
+	TileSize int      `json:"tileSize"`
+	Attrs    []string `json:"attrs"`
+}
+
+// EngineFactory builds a fresh prediction engine for a new session.
+type EngineFactory func() (*core.Engine, error)
+
+// Server is the HTTP middleware front door. Create with New, then mount
+// via Handler (it implements http.Handler).
+type Server struct {
+	meta    Meta
+	factory EngineFactory
+	mux     *http.ServeMux
+
+	mu       sync.Mutex
+	sessions map[string]*core.Engine
+}
+
+// New builds a server for a pyramid-backed middleware.
+func New(meta Meta, factory EngineFactory) *Server {
+	s := &Server{
+		meta:     meta,
+		factory:  factory,
+		mux:      http.NewServeMux(),
+		sessions: make(map[string]*core.Engine),
+	}
+	s.mux.HandleFunc("GET /meta", s.handleMeta)
+	s.mux.HandleFunc("GET /tile", s.handleTile)
+	s.mux.HandleFunc("GET /stats", s.handleStats)
+	s.mux.HandleFunc("POST /reset", s.handleReset)
+	return s
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+// session returns (creating on demand) the engine for the request's
+// session id; the id defaults to "default" so single-user tools need no
+// bookkeeping.
+func (s *Server) session(r *http.Request) (*core.Engine, error) {
+	id := r.URL.Query().Get("session")
+	if id == "" {
+		id = "default"
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if eng, ok := s.sessions[id]; ok {
+		return eng, nil
+	}
+	eng, err := s.factory()
+	if err != nil {
+		return nil, err
+	}
+	s.sessions[id] = eng
+	return eng, nil
+}
+
+// Sessions returns the number of live sessions.
+func (s *Server) Sessions() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.sessions)
+}
+
+func (s *Server) handleMeta(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.meta)
+}
+
+func (s *Server) handleTile(w http.ResponseWriter, r *http.Request) {
+	eng, err := s.session(r)
+	if err != nil {
+		httpError(w, http.StatusInternalServerError, err)
+		return
+	}
+	c, err := coordFromQuery(r)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
+	resp, err := eng.Request(c)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
+	if resp.Hit {
+		w.Header().Set("X-Cache", "HIT")
+	} else {
+		w.Header().Set("X-Cache", "MISS")
+	}
+	w.Header().Set("X-Phase", resp.Phase.String())
+	w.Header().Set("X-Latency-Ms",
+		strconv.FormatFloat(float64(resp.Latency)/float64(time.Millisecond), 'f', 3, 64))
+	writeJSON(w, http.StatusOK, resp.Tile)
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	eng, err := s.session(r)
+	if err != nil {
+		httpError(w, http.StatusInternalServerError, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, eng.CacheStats())
+}
+
+func (s *Server) handleReset(w http.ResponseWriter, r *http.Request) {
+	eng, err := s.session(r)
+	if err != nil {
+		httpError(w, http.StatusInternalServerError, err)
+		return
+	}
+	eng.Reset()
+	w.WriteHeader(http.StatusNoContent)
+}
+
+func coordFromQuery(r *http.Request) (tile.Coord, error) {
+	q := r.URL.Query()
+	var c tile.Coord
+	for _, f := range []struct {
+		name string
+		dst  *int
+	}{{"level", &c.Level}, {"y", &c.Y}, {"x", &c.X}} {
+		raw := q.Get(f.name)
+		if raw == "" {
+			return c, fmt.Errorf("missing query parameter %q", f.name)
+		}
+		v, err := strconv.Atoi(raw)
+		if err != nil {
+			return c, fmt.Errorf("bad %s: %w", f.name, err)
+		}
+		*f.dst = v
+	}
+	return c, nil
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func httpError(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, map[string]string{"error": err.Error()})
+}

@@ -1,0 +1,161 @@
+package server
+
+import (
+	"net/http/httptest"
+	"testing"
+
+	"forecache/internal/array"
+	"forecache/internal/backend"
+	"forecache/internal/client"
+	"forecache/internal/core"
+	"forecache/internal/recommend"
+	"forecache/internal/tile"
+)
+
+func testServer(t *testing.T) (*Server, *httptest.Server) {
+	t.Helper()
+	a := array.NewZero(array.Schema{
+		Name:  "RAW",
+		Attrs: []string{"v"},
+		Dims:  [2]array.Dim{{Name: "lat", Size: 32}, {Name: "lon", Size: 32}},
+	})
+	data, _ := a.AttrData("v")
+	for i := range data {
+		data[i] = float64(i % 7)
+	}
+	pyr, err := tile.Build(a, tile.Params{TileSize: 8, Agg: array.AggAvg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	factory := func() (*core.Engine, error) {
+		db := backend.NewDBMS(pyr, backend.DefaultLatency(), nil)
+		m := recommend.NewMomentum()
+		return core.NewEngine(db, nil, core.SinglePolicy{Model: m.Name()},
+			[]recommend.Model{m}, core.Config{K: 4})
+	}
+	srv := New(Meta{Levels: pyr.NumLevels(), TileSize: pyr.TileSize(), Attrs: pyr.Attrs()}, factory)
+	ts := httptest.NewServer(srv)
+	t.Cleanup(ts.Close)
+	return srv, ts
+}
+
+func TestMetaEndpoint(t *testing.T) {
+	_, ts := testServer(t)
+	c := client.New(ts.URL, "")
+	meta, err := c.Meta()
+	if err != nil {
+		t.Fatalf("Meta: %v", err)
+	}
+	if meta.Levels != 3 || meta.TileSize != 8 || len(meta.Attrs) != 1 {
+		t.Errorf("meta = %+v", meta)
+	}
+}
+
+func TestTileRoundTripAndTelemetry(t *testing.T) {
+	_, ts := testServer(t)
+	c := client.New(ts.URL, "u1")
+	root := tile.Coord{}
+	tl, info, err := c.Tile(root)
+	if err != nil {
+		t.Fatalf("Tile: %v", err)
+	}
+	if tl.Coord != root || tl.Size != 8 {
+		t.Errorf("tile = %+v", tl)
+	}
+	if info.Hit {
+		t.Error("first request should be a miss")
+	}
+	if info.Latency <= 0 {
+		t.Errorf("latency telemetry = %v", info.Latency)
+	}
+	// Pan is illegal from the root (side 1), but zooming in works; with a
+	// momentum model and K=4 every 1-move candidate from the root is
+	// fetched (root has only 4 candidates), so the zoom-in hits.
+	child := root.Child(tile.NW)
+	_, info2, err := c.Tile(child)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !info2.Hit {
+		t.Error("prefetched child should hit")
+	}
+}
+
+func TestJumpRejectedWith400(t *testing.T) {
+	_, ts := testServer(t)
+	c := client.New(ts.URL, "u2")
+	if _, _, err := c.Tile(tile.Coord{}); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := c.Tile(tile.Coord{Level: 2, Y: 3, X: 3}); err == nil {
+		t.Error("jump should be rejected")
+	}
+}
+
+func TestBadQuery(t *testing.T) {
+	_, ts := testServer(t)
+	resp, err := ts.Client().Get(ts.URL + "/tile?level=zero&y=0&x=0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != 400 {
+		t.Errorf("status = %d, want 400", resp.StatusCode)
+	}
+	resp, err = ts.Client().Get(ts.URL + "/tile?y=0&x=0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != 400 {
+		t.Errorf("missing level: status = %d, want 400", resp.StatusCode)
+	}
+}
+
+func TestSessionsAreIsolated(t *testing.T) {
+	srv, ts := testServer(t)
+	a := client.New(ts.URL, "alice")
+	b := client.New(ts.URL, "bob")
+	if _, _, err := a.Tile(tile.Coord{}); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := b.Tile(tile.Coord{}); err != nil {
+		t.Fatal(err)
+	}
+	if srv.Sessions() != 2 {
+		t.Errorf("sessions = %d, want 2", srv.Sessions())
+	}
+	// Alice's position must not constrain Bob: Bob can zoom while Alice
+	// already zoomed elsewhere.
+	if _, _, err := a.Tile(tile.Coord{Level: 1, Y: 0, X: 0}); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := b.Tile(tile.Coord{Level: 1, Y: 1, X: 1}); err != nil {
+		t.Fatalf("bob blocked by alice's session: %v", err)
+	}
+}
+
+func TestResetAndStats(t *testing.T) {
+	_, ts := testServer(t)
+	c := client.New(ts.URL, "u3")
+	if _, _, err := c.Tile(tile.Coord{}); err != nil {
+		t.Fatal(err)
+	}
+	stats, err := c.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats["Misses"].(float64) != 1 {
+		t.Errorf("stats = %v", stats)
+	}
+	if err := c.Reset(); err != nil {
+		t.Fatalf("Reset: %v", err)
+	}
+	stats, err = c.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats["Misses"].(float64) != 0 {
+		t.Errorf("stats after reset = %v", stats)
+	}
+}

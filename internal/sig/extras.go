@@ -1,0 +1,158 @@
+package sig
+
+import (
+	"math"
+
+	"forecache/internal/tile"
+)
+
+// Extended signatures from the paper's future-work section (§6.2): "other
+// features may be more appropriate for different datasets. For example,
+// counting outliers or computing linear correlations may work well for
+// prefetching time series data." Both produce histogram-shaped vectors so
+// the Chi-Squared distance and Algorithm 3 apply unchanged, which is
+// exactly the extension contract §4.3.3 describes.
+const (
+	// NameOutlier is the outlier-profile signature.
+	NameOutlier = "outlier"
+	// NameTrend is the linear-trend signature.
+	NameTrend = "trend"
+)
+
+// ExtendedNames lists the future-work signatures (not part of the paper's
+// evaluated four; see AllNames).
+func ExtendedNames() []string { return []string{NameOutlier, NameTrend} }
+
+// Outlier computes the outlier-profile signature: the fraction of cells
+// beyond 1, 2 and 3 standard deviations of the tile mean, on each side.
+// Tiles whose interesting content is "a few extreme spikes" (heart-rate
+// episodes, sensor faults) match under this signature even when their
+// bulk distributions differ.
+func (c *Computer) Outlier(t *tile.Tile) []float64 {
+	out := make([]float64, 6) // [>+1σ, >+2σ, >+3σ, <-1σ, <-2σ, <-3σ]
+	mean, std, _, _, n, err := t.Stats(c.cfg.Attr)
+	if err != nil || n == 0 || std == 0 {
+		return out
+	}
+	g, err := t.Grid(c.cfg.Attr)
+	if err != nil {
+		return out
+	}
+	for _, v := range g {
+		if math.IsNaN(v) {
+			continue
+		}
+		z := (v - mean) / std
+		switch {
+		case z > 3:
+			out[0]++
+			out[1]++
+			out[2]++
+		case z > 2:
+			out[0]++
+			out[1]++
+		case z > 1:
+			out[0]++
+		case z < -3:
+			out[3]++
+			out[4]++
+			out[5]++
+		case z < -2:
+			out[3]++
+			out[4]++
+		case z < -1:
+			out[3]++
+		}
+	}
+	for i := range out {
+		out[i] /= float64(n)
+	}
+	return out
+}
+
+// Trend computes the linear-trend signature: least-squares slopes of the
+// tile's row means (vertical trend) and column means (horizontal trend),
+// each folded into a small histogram [strong-down, down, flat, up,
+// strong-up] so two tiles "rising the same way" match. Slopes are
+// normalized by the attribute's value range per tile width.
+func (c *Computer) Trend(t *tile.Tile) []float64 {
+	out := make([]float64, 10) // two 5-bin direction histograms
+	g, err := t.Grid(c.cfg.Attr)
+	if err != nil || t.Size == 0 {
+		return out
+	}
+	span := c.cfg.ValueMax - c.cfg.ValueMin
+	rowSlope := axisSlope(g, t.Size, true) / span * float64(t.Size)
+	colSlope := axisSlope(g, t.Size, false) / span * float64(t.Size)
+	out[trendBin(rowSlope)] = 1
+	out[5+trendBin(colSlope)] = 1
+	return out
+}
+
+// axisSlope fits the per-row (or per-column) means against their index.
+func axisSlope(g []float64, size int, rows bool) float64 {
+	var xs, ys []float64
+	for i := 0; i < size; i++ {
+		sum, n := 0.0, 0
+		for j := 0; j < size; j++ {
+			var v float64
+			if rows {
+				v = g[i*size+j]
+			} else {
+				v = g[j*size+i]
+			}
+			if math.IsNaN(v) {
+				continue
+			}
+			sum += v
+			n++
+		}
+		if n == 0 {
+			continue
+		}
+		xs = append(xs, float64(i))
+		ys = append(ys, sum/float64(n))
+	}
+	if len(xs) < 2 {
+		return 0
+	}
+	var sx, sy float64
+	for i := range xs {
+		sx += xs[i]
+		sy += ys[i]
+	}
+	mx, my := sx/float64(len(xs)), sy/float64(len(ys))
+	var sxx, sxy float64
+	for i := range xs {
+		sxx += (xs[i] - mx) * (xs[i] - mx)
+		sxy += (xs[i] - mx) * (ys[i] - my)
+	}
+	if sxx == 0 {
+		return 0
+	}
+	return sxy / sxx
+}
+
+func trendBin(slope float64) int {
+	switch {
+	case slope < -0.5:
+		return 0
+	case slope < -0.05:
+		return 1
+	case slope <= 0.05:
+		return 2
+	case slope <= 0.5:
+		return 3
+	default:
+		return 4
+	}
+}
+
+// ComputeExtended returns the paper's four signatures plus the extended
+// toolbox ones, for datasets where outliers or trends drive navigation.
+func (c *Computer) ComputeExtended(t *tile.Tile) map[string][]float64 {
+	out := c.Compute(t)
+	out[NameOutlier] = c.Outlier(t)
+	out[NameTrend] = c.Trend(t)
+	return out
+}

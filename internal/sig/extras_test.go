@@ -1,0 +1,121 @@
+package sig
+
+import (
+	"math"
+	"testing"
+
+	"forecache/internal/tile"
+)
+
+func TestOutlierSignature(t *testing.T) {
+	c := testComputer()
+	// Mostly-flat tile with a handful of extreme spikes.
+	tl := mkTile(16, func(y, x int) float64 {
+		if y == 0 && x < 2 {
+			return 1.0 // spikes
+		}
+		return 0.1 + 0.001*float64(x) // slight variation so stddev > 0
+	})
+	sg := c.Outlier(tl)
+	if len(sg) != 6 {
+		t.Fatalf("outlier len = %d", len(sg))
+	}
+	if sg[0] <= 0 {
+		t.Errorf("spiky tile should have positive +1σ fraction: %v", sg)
+	}
+	// Flat tile: all zeros (stddev 0 guard).
+	flat := mkTile(16, func(y, x int) float64 { return 0.5 })
+	for i, v := range c.Outlier(flat) {
+		if v != 0 {
+			t.Errorf("flat tile outlier[%d] = %v", i, v)
+		}
+	}
+	// Monotone fractions: >1σ >= >2σ >= >3σ.
+	if !(sg[0] >= sg[1] && sg[1] >= sg[2]) {
+		t.Errorf("upper tail fractions not monotone: %v", sg)
+	}
+}
+
+func TestOutlierDistinguishesSpikyFromSmooth(t *testing.T) {
+	c := testComputer()
+	spiky := mkTile(16, func(y, x int) float64 {
+		if (y*16+x)%37 == 0 {
+			return 1
+		}
+		return 0.2 + 0.002*float64(y)
+	})
+	smooth := mkTile(16, func(y, x int) float64 { return 0.2 + 0.02*float64(y)/16 })
+	spiky2 := mkTile(16, func(y, x int) float64 {
+		if (y*16+x)%41 == 0 {
+			return 0.95
+		}
+		return 0.25 + 0.002*float64(y)
+	})
+	dSame := ChiSquared(c.Outlier(spiky), c.Outlier(spiky2))
+	dDiff := ChiSquared(c.Outlier(spiky), c.Outlier(smooth))
+	if !(dSame < dDiff) {
+		t.Errorf("outlier: spiky-spiky %v should be closer than spiky-smooth %v", dSame, dDiff)
+	}
+}
+
+func TestTrendSignature(t *testing.T) {
+	c := testComputer()
+	rising := mkTile(16, func(y, x int) float64 { return float64(x) / 16 })
+	falling := mkTile(16, func(y, x int) float64 { return 1 - float64(x)/16 })
+	flat := mkTile(16, func(y, x int) float64 { return 0.5 })
+
+	sr := c.Trend(rising)
+	sf := c.Trend(falling)
+	sl := c.Trend(flat)
+	if len(sr) != 10 {
+		t.Fatalf("trend len = %d", len(sr))
+	}
+	// Rising along x: the column-axis histogram (second half) should mark
+	// an "up" bin; falling the "down" side; flat the middle.
+	if sr[5+3]+sr[5+4] == 0 {
+		t.Errorf("rising tile trend = %v, want an up bin set", sr)
+	}
+	if sf[5+0]+sf[5+1] == 0 {
+		t.Errorf("falling tile trend = %v, want a down bin set", sf)
+	}
+	if sl[5+2] != 1 || sl[2] != 1 {
+		t.Errorf("flat tile trend = %v, want flat bins", sl)
+	}
+	// Same-direction tiles match better than opposite ones.
+	rising2 := mkTile(16, func(y, x int) float64 { return 0.1 + 0.8*float64(x)/16 })
+	if d1, d2 := ChiSquared(sr, c.Trend(rising2)), ChiSquared(sr, sf); !(d1 < d2) {
+		t.Errorf("trend: rising-rising %v should beat rising-falling %v", d1, d2)
+	}
+}
+
+func TestTrendHandlesNaNColumns(t *testing.T) {
+	c := testComputer()
+	tl := mkTile(16, func(y, x int) float64 {
+		if x%2 == 0 {
+			return math.NaN()
+		}
+		return float64(y) / 16
+	})
+	sg := c.Trend(tl)
+	sum := 0.0
+	for _, v := range sg {
+		if math.IsNaN(v) {
+			t.Fatal("trend produced NaN")
+		}
+		sum += v
+	}
+	if sum != 2 { // one bin per axis
+		t.Errorf("trend bins sum = %v, want 2", sum)
+	}
+}
+
+func TestComputeExtended(t *testing.T) {
+	c := testComputer()
+	c.TrainCodebook([]*tile.Tile{blobTile(32, 8, 8, 1)})
+	out := c.ComputeExtended(blobTile(32, 16, 16, 1))
+	for _, name := range append(AllNames(), ExtendedNames()...) {
+		if _, ok := out[name]; !ok {
+			t.Errorf("extended compute missing %q", name)
+		}
+	}
+}

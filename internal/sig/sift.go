@@ -1,0 +1,255 @@
+package sig
+
+import (
+	"math"
+	"sort"
+)
+
+// Simplified SIFT for data-tile heatmaps.
+//
+// The paper uses OpenCV's SIFT to find visual "landmarks" (clusters of
+// orange snow pixels in their NDSI heatmaps) and compare them across tiles.
+// This implementation keeps the parts of SIFT that matter for that use:
+//
+//   - a Gaussian scale space and difference-of-Gaussians (DoG) extrema
+//     detector to locate blob-like landmarks at multiple scales;
+//   - 4x4x8 gradient-orientation descriptors (the classic 128-d layout)
+//     around each keypoint, L2-normalized with the standard 0.2 clamp.
+//
+// We omit sub-pixel refinement and dominant-orientation rotation: tiles are
+// axis-aligned heatmaps rendered in a fixed frame, so upright descriptors
+// are both sufficient and cheaper. Descriptors are quantized against a
+// k-means codebook into bag-of-visual-words histograms (see sig.go).
+
+const (
+	dogScales       = 4     // gaussian images per octave
+	baseSigma       = 1.2   // first gaussian sigma (tuned for small tiles)
+	contrastThresh  = 0.006 // minimum |DoG| response for a keypoint
+	descriptorCells = 4     // descriptor is 4x4 cells
+	descriptorBins  = 8     // orientation bins per cell
+	descriptorSize  = descriptorCells * descriptorCells * descriptorBins
+)
+
+type keypoint struct {
+	y, x     int
+	response float64
+}
+
+// gaussianKernel returns a normalized 1-D Gaussian kernel for sigma.
+func gaussianKernel(sigma float64) []float64 {
+	radius := int(math.Ceil(3 * sigma))
+	if radius < 1 {
+		radius = 1
+	}
+	k := make([]float64, 2*radius+1)
+	sum := 0.0
+	for i := range k {
+		d := float64(i - radius)
+		k[i] = math.Exp(-d * d / (2 * sigma * sigma))
+		sum += k[i]
+	}
+	for i := range k {
+		k[i] /= sum
+	}
+	return k
+}
+
+// blur applies a separable Gaussian with edge clamping.
+func blur(src []float64, size int, sigma float64) []float64 {
+	k := gaussianKernel(sigma)
+	radius := len(k) / 2
+	tmp := make([]float64, len(src))
+	dst := make([]float64, len(src))
+	// Horizontal pass.
+	for y := 0; y < size; y++ {
+		row := y * size
+		for x := 0; x < size; x++ {
+			acc := 0.0
+			for i, w := range k {
+				sx := x + i - radius
+				if sx < 0 {
+					sx = 0
+				} else if sx >= size {
+					sx = size - 1
+				}
+				acc += w * src[row+sx]
+			}
+			tmp[row+x] = acc
+		}
+	}
+	// Vertical pass.
+	for y := 0; y < size; y++ {
+		for x := 0; x < size; x++ {
+			acc := 0.0
+			for i, w := range k {
+				sy := y + i - radius
+				if sy < 0 {
+					sy = 0
+				} else if sy >= size {
+					sy = size - 1
+				}
+				acc += w * tmp[sy*size+x]
+			}
+			dst[y*size+x] = acc
+		}
+	}
+	return dst
+}
+
+// detectKeypoints finds up to maxKP DoG extrema in the grid (values in
+// [0,1], row-major size x size), strongest responses first.
+func detectKeypoints(grid []float64, size, maxKP int) []keypoint {
+	if size < 8 {
+		return nil
+	}
+	// Build the Gaussian stack and DoG layers.
+	gauss := make([][]float64, dogScales)
+	sigma := baseSigma
+	for s := 0; s < dogScales; s++ {
+		gauss[s] = blur(grid, size, sigma)
+		sigma *= math.Sqrt2
+	}
+	dog := make([][]float64, dogScales-1)
+	for s := 0; s < dogScales-1; s++ {
+		d := make([]float64, len(grid))
+		for i := range d {
+			d[i] = gauss[s+1][i] - gauss[s][i]
+		}
+		dog[s] = d
+	}
+	var kps []keypoint
+	// Interior 3x3x3 extrema across the middle DoG layers.
+	for s := 1; s < len(dog)-1; s++ {
+		for y := 1; y < size-1; y++ {
+			for x := 1; x < size-1; x++ {
+				v := dog[s][y*size+x]
+				if math.Abs(v) < contrastThresh {
+					continue
+				}
+				if isExtremum(dog, size, s, y, x, v) {
+					kps = append(kps, keypoint{y: y, x: x, response: math.Abs(v)})
+				}
+			}
+		}
+	}
+	sort.Slice(kps, func(i, j int) bool {
+		if kps[i].response != kps[j].response {
+			return kps[i].response > kps[j].response
+		}
+		if kps[i].y != kps[j].y {
+			return kps[i].y < kps[j].y
+		}
+		return kps[i].x < kps[j].x
+	})
+	if len(kps) > maxKP {
+		kps = kps[:maxKP]
+	}
+	if len(kps) == 0 {
+		// Small or low-contrast tiles can have no DoG extrema at all. Fall
+		// back to five structural keypoints (center + quadrant centers) so
+		// the tile still gets a non-degenerate bag-of-words fingerprint —
+		// an empty histogram would make every candidate look identical.
+		q := size / 4
+		kps = []keypoint{
+			{y: size / 2, x: size / 2},
+			{y: q, x: q}, {y: q, x: 3 * q},
+			{y: 3 * q, x: q}, {y: 3 * q, x: 3 * q},
+		}
+	}
+	return kps
+}
+
+func isExtremum(dog [][]float64, size, s, y, x int, v float64) bool {
+	isMax, isMin := true, true
+	for ds := -1; ds <= 1; ds++ {
+		layer := dog[s+ds]
+		for dy := -1; dy <= 1; dy++ {
+			for dx := -1; dx <= 1; dx++ {
+				if ds == 0 && dy == 0 && dx == 0 {
+					continue
+				}
+				n := layer[(y+dy)*size+(x+dx)]
+				if n >= v {
+					isMax = false
+				}
+				if n <= v {
+					isMin = false
+				}
+				if !isMax && !isMin {
+					return false
+				}
+			}
+		}
+	}
+	return isMax || isMin
+}
+
+// describePatch computes the upright 128-d SIFT descriptor of the 16x16
+// patch centered at (cy, cx): gradient orientation histograms over a 4x4
+// cell grid, Gaussian-weighted by distance from the center, L2-normalized
+// with the standard 0.2 clamp and renormalization.
+func describePatch(grid []float64, size, cy, cx int) []float64 {
+	desc := make([]float64, descriptorSize)
+	const patch = 16
+	half := patch / 2
+	cell := patch / descriptorCells
+	sigma := float64(half)
+	at := func(y, x int) float64 {
+		if y < 0 {
+			y = 0
+		} else if y >= size {
+			y = size - 1
+		}
+		if x < 0 {
+			x = 0
+		} else if x >= size {
+			x = size - 1
+		}
+		return grid[y*size+x]
+	}
+	for dy := -half; dy < half; dy++ {
+		for dx := -half; dx < half; dx++ {
+			y, x := cy+dy, cx+dx
+			gy := at(y+1, x) - at(y-1, x)
+			gx := at(y, x+1) - at(y, x-1)
+			mag := math.Hypot(gx, gy)
+			if mag == 0 {
+				continue
+			}
+			theta := math.Atan2(gy, gx) // [-pi, pi]
+			bin := int((theta + math.Pi) / (2 * math.Pi) * descriptorBins)
+			if bin >= descriptorBins {
+				bin = descriptorBins - 1
+			}
+			w := math.Exp(-(float64(dy*dy) + float64(dx*dx)) / (2 * sigma * sigma))
+			cr := (dy + half) / cell
+			cc := (dx + half) / cell
+			desc[(cr*descriptorCells+cc)*descriptorBins+bin] += w * mag
+		}
+	}
+	// L2 normalize, clamp at 0.2, renormalize (standard SIFT illumination
+	// robustness step).
+	norm := 0.0
+	for _, v := range desc {
+		norm += v * v
+	}
+	if norm == 0 {
+		return desc
+	}
+	norm = math.Sqrt(norm)
+	for i := range desc {
+		desc[i] /= norm
+		if desc[i] > 0.2 {
+			desc[i] = 0.2
+		}
+	}
+	norm = 0
+	for _, v := range desc {
+		norm += v * v
+	}
+	norm = math.Sqrt(norm)
+	for i := range desc {
+		desc[i] /= norm
+	}
+	return desc
+}

@@ -1,0 +1,672 @@
+// Package study simulates the paper's user study (§5.3): 18 domain
+// scientists each completing three snow-cover search tasks over the NDSI
+// dataset, producing 54 request traces.
+//
+// We cannot rerun the human study, so a persona-driven agent reproduces its
+// *aggregate* behaviour, which is what the prediction experiments consume:
+//
+//   - the three-phase structure (forage at coarse levels, navigate down,
+//     make sense of neighboring tiles at detailed levels; Figure 9's
+//     sawtooth of zoom level over time);
+//   - the move mixture per task (zooming in dominates; pans and zoom-outs
+//     roughly balanced in Tasks 1–2, pan-heavy in Task 3; Figure 8a);
+//   - user grouping into pan-heavy / zoom-heavy / balanced behavioural
+//     clusters (Figures 8c–8e).
+//
+// Agents are data-driven: they aim at high-NDSI mountain tiles inside each
+// task's named region, just as the study participants visually chased
+// orange snow clusters. Every request carries its generative ground-truth
+// analysis phase, replacing the paper's hand labeling.
+package study
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+
+	"forecache/internal/modis"
+	"forecache/internal/sig"
+	"forecache/internal/tile"
+	"forecache/internal/trace"
+)
+
+// Task is one search task: find NumTargets tiles at TargetLevel inside
+// Region whose mean NDSI meets Threshold (paper §5.3.3).
+type Task struct {
+	ID          int
+	Name        string
+	Region      [4]float64 // normalized r0, c0, r1, c1 world box
+	TargetLevel int
+	Threshold   float64
+	NumTargets  int
+	// ForageScale scales how much coarse-level scanning users need: the
+	// paper observed less foraging in Tasks 2 and 3 because those regions'
+	// ranges sit closer together (§5.3.4).
+	ForageScale float64
+	// PanAffinity scales how long users keep panning at the detail level
+	// before relocating; the paper observed that Task 3's users "clearly
+	// favored panning more than zooming out" (§5.3.4).
+	PanAffinity float64
+}
+
+// Persona captures one behavioural cluster from Figures 8c–8e.
+type Persona struct {
+	Name string
+	// PanBias is the tendency to keep panning at the detail level rather
+	// than zooming out to relocate.
+	PanBias float64
+	// AscendLevels is how far the user zooms out when relocating.
+	AscendLevels int
+	// Patience is how many consecutive non-qualifying tiles the user
+	// tolerates at the detail level before relocating from above.
+	Patience int
+	// Noise is the chance of a random exploratory move.
+	Noise float64
+}
+
+// Personas returns the three behavioural clusters. The 18 study users are
+// spread across them (7 pan-heavy, 6 zoom-heavy, 5 balanced).
+func Personas() []Persona {
+	return []Persona{
+		{Name: "panner", PanBias: 0.9, AscendLevels: 1, Patience: 7, Noise: 0.06},
+		{Name: "zoomer", PanBias: 0.3, AscendLevels: 3, Patience: 2, Noise: 0.05},
+		{Name: "balanced", PanBias: 0.6, AscendLevels: 2, Patience: 4, Noise: 0.08},
+	}
+}
+
+// PersonaFor maps a user index (0-based) to its persona, reproducing the
+// cluster sizes seen in the study figures.
+func PersonaFor(user int) Persona {
+	ps := Personas()
+	switch {
+	case user < 7:
+		return ps[0]
+	case user < 13:
+		return ps[1]
+	default:
+		return ps[2]
+	}
+}
+
+// NumUsers is the study's participant count.
+const NumUsers = 18
+
+// Tasks maps the paper's three browsing tasks onto a pyramid with the
+// given number of zoom levels. Thresholds are calibrated from the data so
+// each task has enough qualifying tiles (the paper hand-picked NDSI
+// cutoffs of "highest", 0.5 and 0.25 for its 9-level dataset).
+func Tasks(pyr *tile.Pyramid, attr string) []Task {
+	deepest := pyr.NumLevels() - 1
+	// The paper's tasks sit at zoom 6 (Tasks 1, 3) and 8 (Task 2) of a
+	// 9-level dataset; on an L-level pyramid that maps to deepest-1 and
+	// deepest.
+	mid := deepest - 1
+	if mid < 1 {
+		mid = deepest
+	}
+	regions := modis.StudyRegions()
+	tasks := []Task{
+		{ID: 1, Name: "US snow at mid depth", Region: regions["task1-us"],
+			TargetLevel: mid, NumTargets: 4, ForageScale: 1.0, PanAffinity: 1.0},
+		{ID: 2, Name: "Europe snow at full depth", Region: regions["task2-europe"],
+			TargetLevel: deepest, NumTargets: 4, ForageScale: 0.6, PanAffinity: 1.2},
+		{ID: 3, Name: "South America snow at mid depth", Region: regions["task3-south-america"],
+			TargetLevel: mid, NumTargets: 4, ForageScale: 0.5, PanAffinity: 2.5},
+	}
+	for i := range tasks {
+		tasks[i].Threshold = calibrateThreshold(pyr, attr, tasks[i])
+	}
+	return tasks
+}
+
+// calibrateThreshold picks the NDSI cutoff so that roughly the top 2% of
+// in-region tiles qualify, but at least twice the task's target count.
+func calibrateThreshold(pyr *tile.Pyramid, attr string, t Task) float64 {
+	var means []float64
+	side := pyr.Side(t.TargetLevel)
+	for y := 0; y < side; y++ {
+		for x := 0; x < side; x++ {
+			c := tile.Coord{Level: t.TargetLevel, Y: y, X: x}
+			if regionOverlap(c, t.Region) <= 0 {
+				continue
+			}
+			if m, ok := tileMean(pyr, attr, c); ok {
+				means = append(means, m)
+			}
+		}
+	}
+	if len(means) == 0 {
+		return 0
+	}
+	sort.Float64s(means)
+	// Qualify just above the task's target count so the user has to hunt:
+	// the paper's cutoffs ("highest NDSI", >= 0.5, > 0.25) similarly left
+	// only a handful of qualifying tiles per region.
+	idx := len(means) - (t.NumTargets + 1)
+	q := int(float64(len(means)) * 0.97)
+	if q < idx {
+		idx = q
+	}
+	if idx < 0 {
+		idx = 0
+	}
+	return means[idx]
+}
+
+// tileBox returns the tile's normalized world box (r0, c0, r1, c1).
+func tileBox(c tile.Coord) [4]float64 {
+	side := float64(int(1) << c.Level)
+	return [4]float64{
+		float64(c.Y) / side, float64(c.X) / side,
+		float64(c.Y+1) / side, float64(c.X+1) / side,
+	}
+}
+
+// regionOverlap returns the fraction of the tile's area inside the region.
+func regionOverlap(c tile.Coord, region [4]float64) float64 {
+	b := tileBox(c)
+	dr := math.Min(b[2], region[2]) - math.Max(b[0], region[0])
+	dc := math.Min(b[3], region[3]) - math.Max(b[1], region[1])
+	if dr <= 0 || dc <= 0 {
+		return 0
+	}
+	area := (b[2] - b[0]) * (b[3] - b[1])
+	return dr * dc / area
+}
+
+func tileMean(pyr *tile.Pyramid, attr string, c tile.Coord) (float64, bool) {
+	t, err := pyr.Tile(c)
+	if err != nil {
+		return 0, false
+	}
+	mean, _, _, _, n, err := t.Stats(attr)
+	if err != nil || n == 0 {
+		return 0, false
+	}
+	return mean, true
+}
+
+// Simulator generates study traces over a pyramid.
+type Simulator struct {
+	pyr  *tile.Pyramid
+	attr string
+	// meanCache memoizes per-tile NDSI means.
+	meanCache map[tile.Coord]float64
+	// clusterCache memoizes per-tile snow-cluster scores.
+	clusterCache map[tile.Coord]float64
+}
+
+// NewSimulator returns a simulator reading the named attribute (usually
+// "ndsi_avg").
+func NewSimulator(pyr *tile.Pyramid, attr string) *Simulator {
+	return &Simulator{
+		pyr:          pyr,
+		attr:         attr,
+		meanCache:    make(map[tile.Coord]float64),
+		clusterCache: make(map[tile.Coord]float64),
+	}
+}
+
+func (s *Simulator) mean(c tile.Coord) float64 {
+	if v, ok := s.meanCache[c]; ok {
+		return v
+	}
+	v, ok := tileMean(s.pyr, s.attr, c)
+	if !ok {
+		v = -1
+	}
+	s.meanCache[c] = v
+	return v
+}
+
+// clusterScore measures how much of the tile is covered by *clustered*
+// snow pixels: cells above the snow cutoff whose neighborhood is also
+// snowy. This is the visual criterion the paper's participants used —
+// they searched for "large clusters of orange pixels" (§4.3.3), not for
+// high tile averages; two tiles with the same mean NDSI read very
+// differently when one is a solid mass and the other is speckle.
+func (s *Simulator) clusterScore(c tile.Coord) float64 {
+	if v, ok := s.clusterCache[c]; ok {
+		return v
+	}
+	score := -1.0
+	if t, err := s.pyr.Tile(c); err == nil {
+		if g, err := t.Grid(s.attr); err == nil {
+			const snow = 0.15
+			size := t.Size
+			clustered := 0
+			at := func(y, x int) float64 {
+				if y < 0 || y >= size || x < 0 || x >= size {
+					return -1
+				}
+				return g[y*size+x]
+			}
+			for y := 0; y < size; y++ {
+				for x := 0; x < size; x++ {
+					if at(y, x) <= snow {
+						continue
+					}
+					n := 0
+					if at(y-1, x) > snow {
+						n++
+					}
+					if at(y+1, x) > snow {
+						n++
+					}
+					if at(y, x-1) > snow {
+						n++
+					}
+					if at(y, x+1) > snow {
+						n++
+					}
+					if n >= 2 {
+						clustered++
+					}
+				}
+			}
+			score = float64(clustered) / float64(size*size)
+		}
+	}
+	s.clusterCache[c] = score
+	return score
+}
+
+// visualSimilarity returns how alike two tiles look, in [0,1], using the
+// tiles' SIFT landmark signatures when the pyramid carries them and the
+// cluster scores otherwise. This drives Sensemaking pans: participants
+// moved toward tiles that looked like the region they were studying.
+func (s *Simulator) visualSimilarity(a, b tile.Coord) float64 {
+	ta, errA := s.pyr.Tile(a)
+	tb, errB := s.pyr.Tile(b)
+	if errA == nil && errB == nil {
+		sa := ta.Signatures[sig.NameSIFT]
+		sb := tb.Signatures[sig.NameSIFT]
+		if sa != nil && sb != nil {
+			d := sig.ChiSquared(sa, sb)
+			if d > 1 {
+				d = 1
+			}
+			return 1 - d
+		}
+	}
+	// No signatures on this pyramid: compare cluster scores instead.
+	da := s.clusterScore(a) - s.clusterScore(b)
+	if da < 0 {
+		da = -da
+	}
+	return 1 - math.Min(da*4, 1)
+}
+
+// score rates a tile as a navigation target for the task: region overlap
+// times snowiness (shifted into [0,2] so overlap dominates off-region).
+func (s *Simulator) score(c tile.Coord, task Task) float64 {
+	ov := regionOverlap(c, task.Region)
+	if ov <= 0 {
+		return 0
+	}
+	return ov * (s.mean(c) + 1)
+}
+
+// exhaustedFraction reports how much of the target-level area under c the
+// user has already inspected — the "I've been there" memory that keeps
+// participants from re-diving into picked-over regions.
+func (s *Simulator) exhaustedFraction(c tile.Coord, targetLevel int, exhausted map[tile.Coord]bool) float64 {
+	if c.Level > targetLevel {
+		return 0
+	}
+	shift := targetLevel - c.Level
+	side := 1 << shift
+	total, done := 0, 0
+	for dy := 0; dy < side; dy++ {
+		for dx := 0; dx < side; dx++ {
+			total++
+			if exhausted[tile.Coord{Level: targetLevel, Y: c.Y<<shift + dy, X: c.X<<shift + dx}] {
+				done++
+			}
+		}
+	}
+	if total == 0 {
+		return 0
+	}
+	return float64(done) / float64(total)
+}
+
+// RunStudy simulates the full study: NumUsers users × the three tasks,
+// returning 54 traces with ground-truth phase labels. Deterministic for a
+// fixed seed.
+func (s *Simulator) RunStudy(seed int64) []*trace.Trace {
+	tasks := Tasks(s.pyr, s.attr)
+	var out []*trace.Trace
+	for user := 0; user < NumUsers; user++ {
+		for _, task := range tasks {
+			out = append(out, s.Run(user, task, PersonaFor(user), seed+int64(user)*1000+int64(task.ID)))
+		}
+	}
+	return out
+}
+
+// simMode is the agent's internal state-machine mode.
+type simMode int
+
+const (
+	modeForage simMode = iota
+	modeDescend
+	modeSense
+	modeAscend
+)
+
+// Run simulates one user completing one task. The trace ends when the user
+// has found the task's target tiles or after a safety cap of requests.
+func (s *Simulator) Run(user int, task Task, persona Persona, seed int64) *trace.Trace {
+	rng := rand.New(rand.NewSource(seed))
+	tr := &trace.Trace{User: user, Task: task.ID}
+	// Per-user directional idiosyncrasy: at a fork between equally snowy
+	// neighbors, different participants turn different ways. Without this
+	// the simulated crowd is unrealistically homogeneous and cross-user
+	// Markov models look far better than the paper reports.
+	userRng := rand.New(rand.NewSource(int64(user)*7907 + 13))
+	var dirBias [4]float64
+	for i := range dirBias {
+		dirBias[i] = userRng.Float64() * 0.45
+	}
+	cur := tile.Coord{Level: 0, Y: 0, X: 0}
+	found := make(map[tile.Coord]bool)
+	visited := make(map[tile.Coord]bool)
+	exhausted := make(map[tile.Coord]bool) // deep tiles already inspected
+
+	mode := modeForage
+	forageBudget := 1 + int(task.ForageScale*float64(1+rng.Intn(3)))
+	coarseMax := task.TargetLevel / 2
+	if coarseMax < 1 {
+		coarseMax = 1
+	}
+	lastMove := trace.None
+	missStreak := 0
+
+	// labelFor assigns the generative ground-truth phase: Sensemaking is
+	// detail-level neighbor comparison; the coarse band is Foraging;
+	// everything in between is Navigation travel.
+	labelFor := func(mode simMode, level int) trace.Phase {
+		switch {
+		case mode == modeSense:
+			return trace.Sensemaking
+		case level <= coarseMax:
+			return trace.Foraging
+		default:
+			return trace.Navigation
+		}
+	}
+	record := func(m trace.Move, ph trace.Phase) {
+		tr.Requests = append(tr.Requests, trace.Request{Coord: cur, Move: m, Phase: ph})
+		visited[cur] = true
+		lastMove = m
+	}
+	record(trace.None, trace.Foraging)
+
+	const maxRequests = 140
+	for len(tr.Requests) < maxRequests && len(found) < task.NumTargets {
+		switch mode {
+		case modeForage:
+			// A user stranded over a part of the world that cannot reach
+			// the task region by descending climbs back up first.
+			if cur.Level >= 1 && s.score(cur, task) <= 0 && regionOverlap(cur, task.Region) <= 0 {
+				mode = modeAscend
+				continue
+			}
+			// Scan the current level for the brightest region-overlapping
+			// neighbor before committing to a descent.
+			if forageBudget > 0 && cur.Level >= 1 && rng.Float64() > persona.Noise {
+				if next, mv, ok := s.bestPan(cur, task, visited); ok {
+					forageBudget--
+					cur = next
+					record(mv, labelFor(modeForage, cur.Level))
+					continue
+				}
+			}
+			forageBudget = 0
+			mode = modeDescend
+		case modeDescend:
+			// Zoom toward the most promising unexhausted quadrant.
+			if cur.Level >= task.TargetLevel {
+				mode = modeSense
+				continue
+			}
+			child, mv := s.bestChild(cur, task, exhausted, rng, persona.Noise)
+			cur = child
+			record(mv, labelFor(modeDescend, cur.Level))
+		case modeSense:
+			// At the target level: inspect the current tile, then pan to
+			// the most promising unvisited neighbor or give up locally.
+			exhausted[cur] = true
+			if s.mean(cur) >= task.Threshold && regionOverlap(cur, task.Region) > 0 {
+				found[cur] = true
+				missStreak = 0
+				if len(found) >= task.NumTargets {
+					continue
+				}
+			} else {
+				missStreak++
+			}
+			next, mv, ok := s.bestSensePan(cur, task, exhausted, lastMove, dirBias, rng)
+			// Personas diverge here: patient pan-heavy users keep walking
+			// the neighborhood through dry spells; zoom-heavy users
+			// relocate from above after a couple of misses.
+			patience := int(float64(persona.Patience)*task.PanAffinity + 0.5)
+			keepPanning := ok && missStreak < patience &&
+				(s.mean(next) >= task.Threshold || rng.Float64() < persona.PanBias)
+			if keepPanning {
+				cur = next
+				record(mv, trace.Sensemaking)
+				continue
+			}
+			missStreak = 0
+			mode = modeAscend
+		case modeAscend:
+			// Relocate: zoom out persona.AscendLevels (at least back above
+			// the detail band), then forage again from there.
+			target := cur.Level - persona.AscendLevels
+			if target < 0 {
+				target = 0
+			}
+			for cur.Level > target && len(tr.Requests) < maxRequests {
+				cur = cur.Parent()
+				record(trace.ZoomOut, labelFor(modeAscend, cur.Level))
+			}
+			s.markExhaustedSubtrees(task, exhausted)
+			mode = modeForage
+			forageBudget = int(task.ForageScale * float64(1+rng.Intn(2)))
+		}
+	}
+	return tr
+}
+
+// bestPan returns the highest-scoring unvisited pan neighbor, if any beats
+// staying put.
+func (s *Simulator) bestPan(cur tile.Coord, task Task, visited map[tile.Coord]bool) (tile.Coord, trace.Move, bool) {
+	type option struct {
+		coord tile.Coord
+		move  trace.Move
+		score float64
+	}
+	var best *option
+	for _, mv := range []trace.Move{trace.PanUp, trace.PanDown, trace.PanLeft, trace.PanRight} {
+		to := trace.Apply(cur, mv)
+		if !s.pyr.Contains(to) || visited[to] {
+			continue
+		}
+		sc := s.score(to, task)
+		if best == nil || sc > best.score {
+			best = &option{coord: to, move: mv, score: sc}
+		}
+	}
+	if best == nil || best.score <= s.score(cur, task)*0.9 {
+		return tile.Coord{}, trace.None, false
+	}
+	return best.coord, best.move, true
+}
+
+// bestChild picks the zoom-in quadrant with the highest task score among
+// unexhausted children. With probability noise the user explores a random
+// quadrant instead, which is what keeps traces from being perfectly
+// predictable.
+func (s *Simulator) bestChild(cur tile.Coord, task Task, exhausted map[tile.Coord]bool, rng *rand.Rand, noise float64) (tile.Coord, trace.Move) {
+	moves := []trace.Move{trace.ZoomInNW, trace.ZoomInNE, trace.ZoomInSW, trace.ZoomInSE}
+	if rng.Float64() < noise {
+		// Exploratory zoom: random, but only among children that can still
+		// reach the task region — users do not dive into the open ocean.
+		var viable []trace.Move
+		for _, mv := range moves {
+			if s.score(trace.Apply(cur, mv), task) > 0 {
+				viable = append(viable, mv)
+			}
+		}
+		if len(viable) > 0 {
+			mv := viable[rng.Intn(len(viable))]
+			return trace.Apply(cur, mv), mv
+		}
+	}
+	bestMove := moves[0]
+	bestCoord := trace.Apply(cur, bestMove)
+	bestScore := -1.0
+	for _, mv := range moves {
+		to := trace.Apply(cur, mv)
+		if !s.pyr.Contains(to) {
+			continue
+		}
+		sc := s.score(to, task) + rng.Float64()*0.01
+		// Discount by how much of the detail level under this quadrant
+		// has already been inspected, so re-descents aim at fresh area.
+		sc *= 1 - 0.95*s.exhaustedFraction(to, task.TargetLevel, exhausted)
+		if sc > bestScore {
+			bestScore, bestMove, bestCoord = sc, mv, to
+		}
+	}
+	return bestCoord, bestMove
+}
+
+// bestSensePan returns the most promising unexhausted neighbor at the
+// detail level. Continuing the previous pan direction gets a small bonus:
+// study participants scanned along ridgelines rather than oscillating.
+func (s *Simulator) bestSensePan(cur tile.Coord, task Task, exhausted map[tile.Coord]bool, lastMove trace.Move, dirBias [4]float64, rng *rand.Rand) (tile.Coord, trace.Move, bool) {
+	var bestCoord tile.Coord
+	var bestMove trace.Move
+	bestScore := -10.0
+	for _, mv := range []trace.Move{trace.PanUp, trace.PanDown, trace.PanLeft, trace.PanRight} {
+		to := trace.Apply(cur, mv)
+		if !s.pyr.Contains(to) || exhausted[to] {
+			continue
+		}
+		if regionOverlap(to, task.Region) <= 0 {
+			continue
+		}
+		// Visual appeal: similarity to what the user is looking at
+		// (§4.3.3's premise — Sensemaking compares neighbors against the
+		// pattern just studied), plus clustered snow, the raw mean, the
+		// user's directional habit, and some direction persistence.
+		sc := 2*s.visualSimilarity(cur, to) +
+			0.5*s.clusterScore(to) +
+			0.2*s.mean(to) +
+			dirBias[int(mv-trace.PanUp)] +
+			0.35*rng.NormFloat64() // human decisions are noisy; without
+			// this, every simulated user turns the same way at the same
+			// fork and move-history models look implausibly clairvoyant
+		if mv == lastMove {
+			sc += 0.1
+		}
+		if sc > bestScore {
+			bestScore, bestMove, bestCoord = sc, mv, to
+		}
+	}
+	if bestScore <= -10 {
+		return tile.Coord{}, trace.None, false
+	}
+	return bestCoord, bestMove, true
+}
+
+// markExhaustedSubtrees propagates exhaustion upward: a coarse tile whose
+// four children are all exhausted is itself exhausted, so foraging aims
+// elsewhere.
+func (s *Simulator) markExhaustedSubtrees(task Task, exhausted map[tile.Coord]bool) {
+	for level := task.TargetLevel - 1; level >= 1; level-- {
+		side := 1 << level
+		for y := 0; y < side; y++ {
+			for x := 0; x < side; x++ {
+				c := tile.Coord{Level: level, Y: y, X: x}
+				if exhausted[c] {
+					continue
+				}
+				all := true
+				for _, q := range []tile.Quadrant{tile.NW, tile.NE, tile.SW, tile.SE} {
+					if !exhausted[c.Child(q)] {
+						all = false
+						break
+					}
+				}
+				if all {
+					exhausted[c] = true
+				}
+			}
+		}
+	}
+}
+
+// Summary aggregates a trace set the way Figure 8 does.
+type Summary struct {
+	Task      int
+	Traces    int
+	Requests  int
+	PanFrac   float64
+	InFrac    float64
+	OutFrac   float64
+	PhaseFrac map[trace.Phase]float64
+}
+
+// Summarize computes per-task move and phase mixtures across traces.
+func Summarize(traces []*trace.Trace) []Summary {
+	byTask := make(map[int][]*trace.Trace)
+	for _, t := range traces {
+		byTask[t.Task] = append(byTask[t.Task], t)
+	}
+	var tasks []int
+	for id := range byTask {
+		tasks = append(tasks, id)
+	}
+	sort.Ints(tasks)
+	var out []Summary
+	for _, id := range tasks {
+		sm := Summary{Task: id, PhaseFrac: make(map[trace.Phase]float64)}
+		moves := 0
+		for _, t := range byTask[id] {
+			sm.Traces++
+			sm.Requests += len(t.Requests)
+			pans, ins, outs := t.MoveCounts()
+			moves += pans + ins + outs
+			sm.PanFrac += float64(pans)
+			sm.InFrac += float64(ins)
+			sm.OutFrac += float64(outs)
+			for _, r := range t.Requests {
+				sm.PhaseFrac[r.Phase]++
+			}
+		}
+		if moves > 0 {
+			sm.PanFrac /= float64(moves)
+			sm.InFrac /= float64(moves)
+			sm.OutFrac /= float64(moves)
+		}
+		if sm.Requests > 0 {
+			for ph := range sm.PhaseFrac {
+				sm.PhaseFrac[ph] /= float64(sm.Requests)
+			}
+		}
+		out = append(out, sm)
+	}
+	return out
+}
+
+// String renders a summary row.
+func (s Summary) String() string {
+	return fmt.Sprintf("task %d: %d traces, %d requests, pan %.2f in %.2f out %.2f | F %.2f N %.2f S %.2f",
+		s.Task, s.Traces, s.Requests, s.PanFrac, s.InFrac, s.OutFrac,
+		s.PhaseFrac[trace.Foraging], s.PhaseFrac[trace.Navigation], s.PhaseFrac[trace.Sensemaking])
+}

@@ -1,0 +1,367 @@
+package tile
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"path/filepath"
+	"sort"
+
+	"forecache/internal/array"
+)
+
+// Binary persistence for complete pyramids, including per-tile signature
+// metadata, so a dataset can be built once (expensive: aggregation + SIFT)
+// and served many times. Format:
+//
+//	magic "FCPY" | version u32 | tileSize u32 | levels u32
+//	| nattrs u32 | attr names | ntiles u32
+//	| per tile: level u32 | y u32 | x u32
+//	           | per attr: cells f64 LE
+//	           | nsigs u32 | per sig: name | len u32 | values f64 LE
+//
+// Strings are u32 length-prefixed UTF-8. Tiles are written in
+// deterministic (level, y, x) order.
+
+const (
+	pyramidMagic   = "FCPY"
+	pyramidVersion = 1
+)
+
+// WritePyramid streams the pyramid in binary form.
+func WritePyramid(w io.Writer, p *Pyramid) (int64, error) {
+	bw := bufio.NewWriterSize(w, 1<<20)
+	var n int64
+	count := func(err error, written int) error {
+		n += int64(written)
+		return err
+	}
+	writeU32 := func(v uint32) error {
+		var buf [4]byte
+		binary.LittleEndian.PutUint32(buf[:], v)
+		written, err := bw.Write(buf[:])
+		return count(err, written)
+	}
+	writeF64 := func(v float64) error {
+		var buf [8]byte
+		binary.LittleEndian.PutUint64(buf[:], math.Float64bits(v))
+		written, err := bw.Write(buf[:])
+		return count(err, written)
+	}
+	writeString := func(s string) error {
+		if err := writeU32(uint32(len(s))); err != nil {
+			return err
+		}
+		written, err := bw.WriteString(s)
+		return count(err, written)
+	}
+
+	if written, err := bw.WriteString(pyramidMagic); err != nil {
+		return n, err
+	} else {
+		n += int64(written)
+	}
+	if err := writeU32(pyramidVersion); err != nil {
+		return n, err
+	}
+	if err := writeU32(uint32(p.TileSize())); err != nil {
+		return n, err
+	}
+	if err := writeU32(uint32(p.NumLevels())); err != nil {
+		return n, err
+	}
+	attrs := p.Attrs()
+	if err := writeU32(uint32(len(attrs))); err != nil {
+		return n, err
+	}
+	for _, a := range attrs {
+		if err := writeString(a); err != nil {
+			return n, err
+		}
+	}
+	if err := writeU32(uint32(p.NumTiles())); err != nil {
+		return n, err
+	}
+	var failure error
+	p.EachTile(func(t *Tile) bool {
+		if err := writeU32(uint32(t.Coord.Level)); err != nil {
+			failure = err
+			return false
+		}
+		if err := writeU32(uint32(t.Coord.Y)); err != nil {
+			failure = err
+			return false
+		}
+		if err := writeU32(uint32(t.Coord.X)); err != nil {
+			failure = err
+			return false
+		}
+		for _, g := range t.Data {
+			for _, v := range g {
+				if err := writeF64(v); err != nil {
+					failure = err
+					return false
+				}
+			}
+		}
+		names := make([]string, 0, len(t.Signatures))
+		for name := range t.Signatures {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		if err := writeU32(uint32(len(names))); err != nil {
+			failure = err
+			return false
+		}
+		for _, name := range names {
+			if err := writeString(name); err != nil {
+				failure = err
+				return false
+			}
+			vec := t.Signatures[name]
+			if err := writeU32(uint32(len(vec))); err != nil {
+				failure = err
+				return false
+			}
+			for _, v := range vec {
+				if err := writeF64(v); err != nil {
+					failure = err
+					return false
+				}
+			}
+		}
+		return true
+	})
+	if failure != nil {
+		return n, failure
+	}
+	return n, bw.Flush()
+}
+
+// ReadPyramid reconstructs a pyramid written with WritePyramid.
+func ReadPyramid(r io.Reader) (*Pyramid, error) {
+	br := bufio.NewReaderSize(r, 1<<20)
+	readU32 := func() (uint32, error) {
+		var buf [4]byte
+		if _, err := io.ReadFull(br, buf[:]); err != nil {
+			return 0, err
+		}
+		return binary.LittleEndian.Uint32(buf[:]), nil
+	}
+	readF64 := func() (float64, error) {
+		var buf [8]byte
+		if _, err := io.ReadFull(br, buf[:]); err != nil {
+			return 0, err
+		}
+		return math.Float64frombits(binary.LittleEndian.Uint64(buf[:])), nil
+	}
+	readString := func() (string, error) {
+		ln, err := readU32()
+		if err != nil {
+			return "", err
+		}
+		if ln > 1<<20 {
+			return "", fmt.Errorf("tile: corrupt string length %d", ln)
+		}
+		buf := make([]byte, ln)
+		if _, err := io.ReadFull(br, buf); err != nil {
+			return "", err
+		}
+		return string(buf), nil
+	}
+
+	magic := make([]byte, 4)
+	if _, err := io.ReadFull(br, magic); err != nil {
+		return nil, err
+	}
+	if string(magic) != pyramidMagic {
+		return nil, fmt.Errorf("tile: bad pyramid magic %q", magic)
+	}
+	version, err := readU32()
+	if err != nil {
+		return nil, err
+	}
+	if version != pyramidVersion {
+		return nil, fmt.Errorf("tile: unsupported pyramid version %d", version)
+	}
+	tileSize, err := readU32()
+	if err != nil {
+		return nil, err
+	}
+	levels, err := readU32()
+	if err != nil {
+		return nil, err
+	}
+	if tileSize == 0 || levels == 0 || levels > 24 {
+		return nil, fmt.Errorf("tile: corrupt header (size %d, levels %d)", tileSize, levels)
+	}
+	nattrs, err := readU32()
+	if err != nil {
+		return nil, err
+	}
+	if nattrs > 1<<12 {
+		return nil, fmt.Errorf("tile: corrupt attribute count %d", nattrs)
+	}
+	attrs := make([]string, nattrs)
+	for i := range attrs {
+		if attrs[i], err = readString(); err != nil {
+			return nil, err
+		}
+	}
+	ntiles, err := readU32()
+	if err != nil {
+		return nil, err
+	}
+	p := &Pyramid{
+		params: Params{TileSize: int(tileSize), Agg: array.AggAvg},
+		attrs:  attrs,
+		levels: make([]*array.Array, levels),
+		tiles:  make(map[Coord]*Tile, ntiles),
+	}
+	cells := int(tileSize) * int(tileSize)
+	for i := uint32(0); i < ntiles; i++ {
+		lvl, err := readU32()
+		if err != nil {
+			return nil, err
+		}
+		y, err := readU32()
+		if err != nil {
+			return nil, err
+		}
+		x, err := readU32()
+		if err != nil {
+			return nil, err
+		}
+		t := &Tile{
+			Coord: Coord{Level: int(lvl), Y: int(y), X: int(x)},
+			Size:  int(tileSize),
+			Attrs: attrs,
+			Data:  make([][]float64, len(attrs)),
+		}
+		if !coordInLevels(t.Coord, int(levels)) {
+			return nil, fmt.Errorf("tile: corrupt coordinate %v", t.Coord)
+		}
+		for a := range attrs {
+			g := make([]float64, cells)
+			for c := range g {
+				if g[c], err = readF64(); err != nil {
+					return nil, err
+				}
+			}
+			t.Data[a] = g
+		}
+		nsigs, err := readU32()
+		if err != nil {
+			return nil, err
+		}
+		if nsigs > 64 {
+			return nil, fmt.Errorf("tile: corrupt signature count %d", nsigs)
+		}
+		if nsigs > 0 {
+			t.Signatures = make(map[string][]float64, nsigs)
+			for s := uint32(0); s < nsigs; s++ {
+				name, err := readString()
+				if err != nil {
+					return nil, err
+				}
+				ln, err := readU32()
+				if err != nil {
+					return nil, err
+				}
+				if ln > 1<<20 {
+					return nil, fmt.Errorf("tile: corrupt signature length %d", ln)
+				}
+				vec := make([]float64, ln)
+				for v := range vec {
+					if vec[v], err = readF64(); err != nil {
+						return nil, err
+					}
+				}
+				t.Signatures[name] = vec
+			}
+		}
+		p.tiles[t.Coord] = t
+	}
+	if len(p.tiles) != int(ntiles) {
+		return nil, fmt.Errorf("tile: %d duplicate tiles in stream", int(ntiles)-len(p.tiles))
+	}
+	// Rebuild the level arrays from the tiles so Level() keeps working.
+	for l := 0; l < int(levels); l++ {
+		if err := p.rebuildLevel(l); err != nil {
+			return nil, err
+		}
+	}
+	return p, nil
+}
+
+func coordInLevels(c Coord, levels int) bool {
+	if c.Level < 0 || c.Level >= levels {
+		return false
+	}
+	side := 1 << c.Level
+	return c.Y >= 0 && c.Y < side && c.X >= 0 && c.X < side
+}
+
+// rebuildLevel reassembles one level's materialized view from its tiles.
+func (p *Pyramid) rebuildLevel(l int) error {
+	side := p.Side(l)
+	ts := p.params.TileSize
+	dim := side * ts
+	level := array.New(array.Schema{
+		Name:  fmt.Sprintf("level%d", l),
+		Attrs: p.attrs,
+		Dims: [2]array.Dim{
+			{Name: "row", Size: dim},
+			{Name: "col", Size: dim},
+		},
+	})
+	for y := 0; y < side; y++ {
+		for x := 0; x < side; x++ {
+			t := p.tiles[Coord{Level: l, Y: y, X: x}]
+			if t == nil {
+				return fmt.Errorf("tile: level %d missing tile (%d,%d)", l, y, x)
+			}
+			for ai, attr := range p.attrs {
+				dst, err := level.AttrData(attr)
+				if err != nil {
+					return err
+				}
+				src := t.Data[ai]
+				for r := 0; r < ts; r++ {
+					copy(dst[(y*ts+r)*dim+x*ts:(y*ts+r)*dim+x*ts+ts], src[r*ts:(r+1)*ts])
+				}
+			}
+		}
+	}
+	p.levels[l] = level
+	return nil
+}
+
+// SaveFile writes the pyramid to path, creating parent directories.
+func (p *Pyramid) SaveFile(path string) error {
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		return err
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if _, err := WritePyramid(f, p); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// LoadFile reads a pyramid written with SaveFile.
+func LoadFile(path string) (*Pyramid, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return ReadPyramid(f)
+}

@@ -1,0 +1,153 @@
+package tile
+
+import (
+	"bytes"
+	"math"
+	"path/filepath"
+	"testing"
+
+	"forecache/internal/array"
+)
+
+func sigPyramid(t *testing.T) *Pyramid {
+	t.Helper()
+	meta := func(tl *Tile) map[string][]float64 {
+		mean, std, _, _, _, err := tl.Stats("v")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.IsNaN(mean) {
+			mean, std = 0, 0
+		}
+		return map[string][]float64{
+			"normal": {mean, std},
+			"tag":    {float64(tl.Coord.Level)},
+		}
+	}
+	pyr, err := Build(rawArray(t, 32), Params{TileSize: 8, Agg: array.AggAvg, Metadata: meta})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return pyr
+}
+
+func TestPyramidRoundTrip(t *testing.T) {
+	pyr := sigPyramid(t)
+	var buf bytes.Buffer
+	if _, err := WritePyramid(&buf, pyr); err != nil {
+		t.Fatalf("WritePyramid: %v", err)
+	}
+	got, err := ReadPyramid(&buf)
+	if err != nil {
+		t.Fatalf("ReadPyramid: %v", err)
+	}
+	if got.NumLevels() != pyr.NumLevels() || got.TileSize() != pyr.TileSize() ||
+		got.NumTiles() != pyr.NumTiles() {
+		t.Fatalf("shape mismatch: %d/%d/%d vs %d/%d/%d",
+			got.NumLevels(), got.TileSize(), got.NumTiles(),
+			pyr.NumLevels(), pyr.TileSize(), pyr.NumTiles())
+	}
+	// Every tile's cells and signatures must survive.
+	pyr.EachTile(func(want *Tile) bool {
+		have, err := got.Tile(want.Coord)
+		if err != nil {
+			t.Fatalf("missing tile %v: %v", want.Coord, err)
+		}
+		wg, _ := want.Grid("v")
+		hg, _ := have.Grid("v")
+		for i := range wg {
+			if wg[i] != hg[i] && !(math.IsNaN(wg[i]) && math.IsNaN(hg[i])) {
+				t.Fatalf("tile %v cell %d: %v != %v", want.Coord, i, wg[i], hg[i])
+			}
+		}
+		for name, vec := range want.Signatures {
+			got := have.Signatures[name]
+			if len(got) != len(vec) {
+				t.Fatalf("tile %v signature %s length %d != %d", want.Coord, name, len(got), len(vec))
+			}
+			for i := range vec {
+				if got[i] != vec[i] {
+					t.Fatalf("tile %v signature %s[%d] differs", want.Coord, name, i)
+				}
+			}
+		}
+		return true
+	})
+	// Level arrays must be rebuilt consistently: level cells equal tile
+	// cells at the same location.
+	lv, err := got.Level(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tl, _ := got.Tile(Coord{Level: 2, Y: 1, X: 2})
+	want, _ := tl.At("v", 3, 4)
+	have, _ := lv.Get("v", 1*8+3, 2*8+4)
+	if want != have {
+		t.Errorf("rebuilt level cell = %v, want %v", have, want)
+	}
+}
+
+func TestPyramidFileRoundTrip(t *testing.T) {
+	pyr := sigPyramid(t)
+	path := filepath.Join(t.TempDir(), "nested", "world.fcpy")
+	if err := pyr.SaveFile(path); err != nil {
+		t.Fatalf("SaveFile: %v", err)
+	}
+	got, err := LoadFile(path)
+	if err != nil {
+		t.Fatalf("LoadFile: %v", err)
+	}
+	if got.NumTiles() != pyr.NumTiles() {
+		t.Errorf("NumTiles = %d, want %d", got.NumTiles(), pyr.NumTiles())
+	}
+	if _, err := LoadFile(filepath.Join(t.TempDir(), "missing.fcpy")); err == nil {
+		t.Error("missing file should fail")
+	}
+}
+
+func TestReadPyramidRejectsCorrupt(t *testing.T) {
+	cases := [][]byte{
+		nil,
+		[]byte("XXXX"),
+		[]byte("FCPY"),                           // truncated after magic
+		append([]byte("FCPY"), 9, 0, 0, 0),       // bad version
+		append([]byte("FCPY"), 1, 0, 0, 0, 0, 0), // truncated header
+	}
+	for i, raw := range cases {
+		if _, err := ReadPyramid(bytes.NewReader(raw)); err == nil {
+			t.Errorf("case %d: corrupt stream accepted", i)
+		}
+	}
+}
+
+func TestReadPyramidRejectsTruncatedTiles(t *testing.T) {
+	pyr := sigPyramid(t)
+	var buf bytes.Buffer
+	if _, err := WritePyramid(&buf, pyr); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.Bytes()
+	if _, err := ReadPyramid(bytes.NewReader(raw[:len(raw)/2])); err == nil {
+		t.Error("truncated tile stream accepted")
+	}
+}
+
+func BenchmarkPyramidWrite(b *testing.B) {
+	a := array.NewZero(array.Schema{
+		Name:  "RAW",
+		Attrs: []string{"v"},
+		Dims:  [2]array.Dim{{Name: "lat", Size: 128}, {Name: "lon", Size: 128}},
+	})
+	pyr, err := Build(a, Params{TileSize: 16, Agg: array.AggAvg})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var buf bytes.Buffer
+		if _, err := WritePyramid(&buf, pyr); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,143 @@
+package tile
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+)
+
+// Tile is one data tile: a Size x Size cell grid per attribute, plus the
+// metadata (tile signatures) computed when the pyramid was built (paper
+// §2.3 "Computing Metadata"). Tiles are immutable after construction.
+type Tile struct {
+	Coord Coord    `json:"coord"`
+	Size  int      `json:"size"`
+	Attrs []string `json:"attrs"`
+	// Data holds one row-major Size*Size grid per attribute, parallel to
+	// Attrs. NaN cells are empty (e.g. padding past the dataset edge).
+	Data [][]float64 `json:"data"`
+	// Signatures holds the data characteristics computed for this tile at
+	// build time, keyed by signature name ("normal", "histogram", "sift",
+	// "densesift"). Each is a flat numeric vector (paper §4.3.3).
+	Signatures map[string][]float64 `json:"signatures,omitempty"`
+}
+
+// Grid returns the row-major cell grid of the named attribute.
+func (t *Tile) Grid(attr string) ([]float64, error) {
+	for i, a := range t.Attrs {
+		if a == attr {
+			return t.Data[i], nil
+		}
+	}
+	return nil, fmt.Errorf("tile %s: no attribute %q", t.Coord, attr)
+}
+
+// At returns the value of attr at (row, col) inside the tile.
+func (t *Tile) At(attr string, row, col int) (float64, error) {
+	g, err := t.Grid(attr)
+	if err != nil {
+		return 0, err
+	}
+	if row < 0 || row >= t.Size || col < 0 || col >= t.Size {
+		return 0, fmt.Errorf("tile %s: cell (%d,%d) outside %dx%d", t.Coord, row, col, t.Size, t.Size)
+	}
+	return g[row*t.Size+col], nil
+}
+
+// Bytes estimates the main-memory footprint of the tile in bytes; the cache
+// manager uses it for space accounting.
+func (t *Tile) Bytes() int {
+	n := 0
+	for _, g := range t.Data {
+		n += len(g) * 8
+	}
+	for _, s := range t.Signatures {
+		n += len(s) * 8
+	}
+	return n + 64
+}
+
+// Stats summarizes one attribute of the tile (used by the Normal signature
+// and by clients rendering color scales).
+func (t *Tile) Stats(attr string) (mean, stddev, minv, maxv float64, count int, err error) {
+	g, err := t.Grid(attr)
+	if err != nil {
+		return 0, 0, 0, 0, 0, err
+	}
+	minv, maxv = math.Inf(1), math.Inf(-1)
+	var sum, sq float64
+	for _, v := range g {
+		if math.IsNaN(v) {
+			continue
+		}
+		count++
+		sum += v
+		sq += v * v
+		if v < minv {
+			minv = v
+		}
+		if v > maxv {
+			maxv = v
+		}
+	}
+	if count == 0 {
+		nan := math.NaN()
+		return nan, nan, nan, nan, 0, nil
+	}
+	mean = sum / float64(count)
+	variance := sq/float64(count) - mean*mean
+	if variance < 0 {
+		variance = 0
+	}
+	return mean, math.Sqrt(variance), minv, maxv, count, nil
+}
+
+// jsonTile mirrors Tile but encodes NaN cells as null, since encoding/json
+// rejects NaN float64 values.
+type jsonTile struct {
+	Coord      Coord                `json:"coord"`
+	Size       int                  `json:"size"`
+	Attrs      []string             `json:"attrs"`
+	Data       [][]*float64         `json:"data"`
+	Signatures map[string][]float64 `json:"signatures,omitempty"`
+}
+
+// MarshalJSON encodes the tile with NaN cells as null so the payload is
+// valid JSON for the HTTP middleware.
+func (t *Tile) MarshalJSON() ([]byte, error) {
+	jt := jsonTile{Coord: t.Coord, Size: t.Size, Attrs: t.Attrs, Signatures: t.Signatures}
+	jt.Data = make([][]*float64, len(t.Data))
+	for i, g := range t.Data {
+		row := make([]*float64, len(g))
+		for j := range g {
+			if !math.IsNaN(g[j]) {
+				v := g[j]
+				row[j] = &v
+			}
+		}
+		jt.Data[i] = row
+	}
+	return json.Marshal(jt)
+}
+
+// UnmarshalJSON decodes a tile written by MarshalJSON.
+func (t *Tile) UnmarshalJSON(b []byte) error {
+	var jt jsonTile
+	if err := json.Unmarshal(b, &jt); err != nil {
+		return err
+	}
+	t.Coord, t.Size, t.Attrs, t.Signatures = jt.Coord, jt.Size, jt.Attrs, jt.Signatures
+	t.Data = make([][]float64, len(jt.Data))
+	for i, row := range jt.Data {
+		g := make([]float64, len(row))
+		for j, p := range row {
+			if p == nil {
+				g[j] = math.NaN()
+			} else {
+				g[j] = *p
+			}
+		}
+		t.Data[i] = g
+	}
+	return nil
+}

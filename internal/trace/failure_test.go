@@ -1,0 +1,54 @@
+package trace
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestLoadFileRejectsCorruptJSON(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "bad.json")
+	if err := os.WriteFile(path, []byte("{this is not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadFile(path); err == nil {
+		t.Error("corrupt trace file should fail to load")
+	}
+}
+
+func TestLoadDirStopsOnCorruptFile(t *testing.T) {
+	dir := t.TempDir()
+	good := &Trace{User: 1, Task: 1, Requests: []Request{{Move: None}}}
+	if err := good.SaveFile(filepath.Join(dir, "a_good.json")); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "z_bad.json"), []byte("]["), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadDir(dir); err == nil {
+		t.Error("LoadDir should report the corrupt file")
+	}
+}
+
+func TestLoadDirEmpty(t *testing.T) {
+	traces, err := LoadDir(t.TempDir())
+	if err != nil {
+		t.Fatalf("empty dir: %v", err)
+	}
+	if len(traces) != 0 {
+		t.Errorf("traces = %d, want 0", len(traces))
+	}
+}
+
+func TestSaveFileCreatesParents(t *testing.T) {
+	dir := t.TempDir()
+	tr := &Trace{User: 3, Task: 2}
+	nested := filepath.Join(dir, "a", "b", "t.json")
+	if err := tr.SaveFile(nested); err != nil {
+		t.Fatalf("SaveFile nested: %v", err)
+	}
+	if _, err := os.Stat(nested); err != nil {
+		t.Errorf("file not created: %v", err)
+	}
+}

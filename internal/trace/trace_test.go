@@ -1,0 +1,197 @@
+package trace
+
+import (
+	"testing"
+	"testing/quick"
+
+	"forecache/internal/tile"
+)
+
+func TestMoveStringsRoundTrip(t *testing.T) {
+	for _, m := range AllMoves() {
+		got, err := ParseMove(m.String())
+		if err != nil {
+			t.Fatalf("ParseMove(%q): %v", m.String(), err)
+		}
+		if got != m {
+			t.Errorf("round trip %v -> %q -> %v", m, m.String(), got)
+		}
+	}
+	if _, err := ParseMove("sideways"); err == nil {
+		t.Error("unknown move name should fail")
+	}
+}
+
+func TestNineMoves(t *testing.T) {
+	if len(AllMoves()) != NumMoves {
+		t.Fatalf("AllMoves = %d, want %d", len(AllMoves()), NumMoves)
+	}
+	pans, ins, outs := 0, 0, 0
+	for _, m := range AllMoves() {
+		switch {
+		case m.IsPan():
+			pans++
+		case m.IsZoomIn():
+			ins++
+		case m.IsZoomOut():
+			outs++
+		}
+	}
+	if pans != 4 || ins != 4 || outs != 1 {
+		t.Errorf("move taxonomy: %d pans, %d zoom-ins, %d zoom-outs", pans, ins, outs)
+	}
+}
+
+func TestApplyGeometry(t *testing.T) {
+	c := tile.Coord{Level: 2, Y: 1, X: 1}
+	cases := []struct {
+		m    Move
+		want tile.Coord
+	}{
+		{PanUp, tile.Coord{Level: 2, Y: 0, X: 1}},
+		{PanDown, tile.Coord{Level: 2, Y: 2, X: 1}},
+		{PanLeft, tile.Coord{Level: 2, Y: 1, X: 0}},
+		{PanRight, tile.Coord{Level: 2, Y: 1, X: 2}},
+		{ZoomOut, tile.Coord{Level: 1, Y: 0, X: 0}},
+		{ZoomInNW, tile.Coord{Level: 3, Y: 2, X: 2}},
+		{ZoomInSE, tile.Coord{Level: 3, Y: 3, X: 3}},
+	}
+	for _, tc := range cases {
+		if got := Apply(c, tc.m); got != tc.want {
+			t.Errorf("Apply(%v, %v) = %v, want %v", c, tc.m, got, tc.want)
+		}
+	}
+}
+
+func TestMoveBetweenInvertsApply(t *testing.T) {
+	f := func(level uint8, y, x uint16, mRaw uint8) bool {
+		l := int(level%5) + 1
+		side := 1 << l
+		c := tile.Coord{Level: l, Y: int(y) % side, X: int(x) % side}
+		m := AllMoves()[int(mRaw)%NumMoves]
+		to := Apply(c, m)
+		got, ok := MoveBetween(c, to)
+		return ok && got == m
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 400}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMoveBetweenRejectsJumps(t *testing.T) {
+	from := tile.Coord{Level: 2, Y: 0, X: 0}
+	to := tile.Coord{Level: 2, Y: 3, X: 3}
+	if _, ok := MoveBetween(from, to); ok {
+		t.Error("jump should not map to a move")
+	}
+	// Zoom-out at the root is degenerate.
+	root := tile.Coord{Level: 0, Y: 0, X: 0}
+	if _, ok := MoveBetween(root, root); ok {
+		t.Error("root self-transition should not map to a move")
+	}
+}
+
+func TestTraceMovesSkipsNone(t *testing.T) {
+	tr := &Trace{Requests: []Request{
+		{Move: None},
+		{Move: ZoomInNW},
+		{Move: PanRight},
+	}}
+	got := tr.Moves()
+	if len(got) != 2 || got[0] != "in-nw" || got[1] != "right" {
+		t.Errorf("Moves = %v", got)
+	}
+}
+
+func TestMoveCounts(t *testing.T) {
+	tr := &Trace{Requests: []Request{
+		{Move: None}, {Move: ZoomInNW}, {Move: ZoomInSE},
+		{Move: PanLeft}, {Move: ZoomOut},
+	}}
+	pans, ins, outs := tr.MoveCounts()
+	if pans != 1 || ins != 2 || outs != 1 {
+		t.Errorf("counts = %d,%d,%d", pans, ins, outs)
+	}
+}
+
+func TestHistoryWindow(t *testing.T) {
+	h := NewHistory(3)
+	if _, ok := h.Last(); ok {
+		t.Error("empty history should have no last request")
+	}
+	for i := 0; i < 5; i++ {
+		h.Push(Request{Coord: tile.Coord{Level: i}, Move: PanRight})
+	}
+	if h.Len() != 3 {
+		t.Fatalf("Len = %d, want 3", h.Len())
+	}
+	last, ok := h.Last()
+	if !ok || last.Coord.Level != 4 {
+		t.Errorf("Last = %+v", last)
+	}
+	reqs := h.Requests()
+	if reqs[0].Coord.Level != 2 {
+		t.Errorf("oldest retained = %+v, want level 2", reqs[0])
+	}
+	h.Reset()
+	if h.Len() != 0 {
+		t.Error("Reset should empty the history")
+	}
+}
+
+func TestHistoryMoveSymbols(t *testing.T) {
+	h := NewHistory(4)
+	h.Push(Request{Move: None})
+	h.Push(Request{Move: PanUp})
+	h.Push(Request{Move: ZoomOut})
+	got := h.MoveSymbols()
+	if len(got) != 2 || got[0] != "up" || got[1] != "out" {
+		t.Errorf("MoveSymbols = %v", got)
+	}
+}
+
+func TestHistoryMinCapacity(t *testing.T) {
+	h := NewHistory(0)
+	if h.Cap() != 1 {
+		t.Errorf("Cap = %d, want clamped to 1", h.Cap())
+	}
+}
+
+func TestPhaseStrings(t *testing.T) {
+	if Foraging.String() != "Foraging" || Navigation.String() != "Navigation" ||
+		Sensemaking.String() != "Sensemaking" || PhaseUnknown.String() != "Unknown" {
+		t.Error("phase names wrong")
+	}
+	if len(AllPhases()) != 3 {
+		t.Error("AllPhases should list the three real phases")
+	}
+}
+
+func TestTraceSaveLoadRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	traces := []*Trace{
+		{User: 1, Task: 1, Requests: []Request{
+			{Coord: tile.Coord{Level: 0}, Move: None, Phase: Foraging},
+			{Coord: tile.Coord{Level: 1, Y: 1, X: 0}, Move: ZoomInSW, Phase: Navigation},
+		}},
+		{User: 2, Task: 3, Requests: []Request{
+			{Coord: tile.Coord{Level: 0}, Move: None, Phase: Foraging},
+		}},
+	}
+	if err := SaveDir(dir, traces); err != nil {
+		t.Fatalf("SaveDir: %v", err)
+	}
+	got, err := LoadDir(dir)
+	if err != nil {
+		t.Fatalf("LoadDir: %v", err)
+	}
+	if len(got) != 2 {
+		t.Fatalf("loaded %d traces", len(got))
+	}
+	if got[0].User != 1 || got[0].Requests[1].Move != ZoomInSW || got[0].Requests[1].Phase != Navigation {
+		t.Errorf("round trip = %+v", got[0])
+	}
+	if _, err := LoadFile(dir + "/nope.json"); err == nil {
+		t.Error("missing file should fail")
+	}
+}
