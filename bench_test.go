@@ -13,6 +13,7 @@ import (
 	"forecache/internal/backend"
 	"forecache/internal/eval"
 	"forecache/internal/phase"
+	"forecache/internal/prefetch"
 	"forecache/internal/sig"
 	"forecache/internal/trace"
 )
@@ -230,5 +231,31 @@ func BenchmarkTraceSerialization(b *testing.B) {
 		if _, err := trace.LoadDir(dir); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+func BenchmarkScheduler(b *testing.B) {
+	ds, _ := testWorld(b)
+	db := backend.NewDBMS(ds.Pyramid, backend.DefaultLatency(), nil)
+	sched := prefetch.NewScheduler(db, prefetch.Config{Workers: 8, QueuePerSession: 64})
+	defer sched.Close()
+	// Four sessions repeatedly submit overlapping 8-tile batches — the
+	// multi-user shape the scheduler exists for (fairness + coalescing).
+	const sessions = 4
+	batches := make([][]prefetch.Request, sessions)
+	for s := range batches {
+		for i := 0; i < 8; i++ {
+			c := Coord{Level: 3, Y: (s + i) % 8, X: i}
+			batches[s] = append(batches[s], prefetch.Request{Coord: c, Score: float64(i)})
+		}
+	}
+	ids := []string{"s0", "s1", "s2", "s3"}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for s := range batches {
+			sched.Submit(ids[s], batches[s])
+		}
+		sched.Drain()
 	}
 }

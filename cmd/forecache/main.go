@@ -63,7 +63,9 @@ func usage() {
 subcommands:
   build     -seed -size -tile -out        build the world, persist arrays
   tracegen  -seed -size -tile -out        simulate the study, save traces
-  serve     -seed -size -tile -addr -k    run the HTTP middleware
+  serve     -seed -size -tile -addr -k [-async] [-prefetch-workers]
+            [-prefetch-queue] [-shared-tiles] [-max-sessions] [-session-ttl]
+                                          run the HTTP middleware
   explore   -seed -size -tile -moves     walk a move script, print tiles
   render    -seed -size -tile -level -out render a zoom level to PNG
   bench     -seed -size -tile [-list] [names...|all]  run experiments`)
@@ -145,6 +147,12 @@ func cmdServe(args []string) error {
 	wf := addWorldFlags(fs)
 	addr := fs.String("addr", ":8080", "listen address")
 	k := fs.Int("k", 5, "prefetch budget in tiles")
+	async := fs.Bool("async", true, "prefetch through the shared asynchronous scheduler")
+	workers := fs.Int("prefetch-workers", 4, "scheduler worker pool size (concurrent DBMS fetches)")
+	queue := fs.Int("prefetch-queue", 64, "queued prefetch entries per session")
+	sharedTiles := fs.Int("shared-tiles", 512, "cross-session shared tile pool capacity (0 disables)")
+	maxSessions := fs.Int("max-sessions", 1024, "live session cap, LRU-evicted past it (0 = unlimited)")
+	sessionTTL := fs.Duration("session-ttl", 30*time.Minute, "evict sessions idle this long (0 = never)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -153,8 +161,21 @@ func cmdServe(args []string) error {
 		return err
 	}
 	traces := ds.SimulateStudy(wf.seed)
-	srv := ds.NewServer(traces, forecache.MiddlewareConfig{K: *k})
-	fmt.Printf("serving tiles on %s (GET /meta, /tile?level=&y=&x=, /stats; POST /reset)\n", *addr)
+	srv := ds.NewServer(traces, forecache.MiddlewareConfig{
+		K:               *k,
+		AsyncPrefetch:   *async,
+		PrefetchWorkers: *workers,
+		PrefetchQueue:   *queue,
+		SharedTiles:     *sharedTiles,
+		MaxSessions:     *maxSessions,
+		SessionTTL:      *sessionTTL,
+	})
+	defer srv.Close()
+	mode := "inline prefetch"
+	if *async {
+		mode = fmt.Sprintf("async prefetch: %d workers, queue %d/session", *workers, *queue)
+	}
+	fmt.Printf("serving tiles on %s (%s; GET /meta, /tile?level=&y=&x=, /stats; POST /reset)\n", *addr, mode)
 	return http.ListenAndServe(*addr, srv)
 }
 

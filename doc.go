@@ -17,6 +17,16 @@
 //   - the middleware cache (internal/cache), the latency-modeling DBMS
 //     adapter (internal/backend) and the HTTP boundary (internal/server,
 //     internal/client);
+//   - the asynchronous prefetch pipeline (internal/prefetch): a server-wide
+//     scheduler that decouples prediction from DBMS fetching — engines
+//     submit ranked candidate batches and return immediately, a bounded
+//     worker pool fetches them in confidence order with per-session
+//     fairness, duplicate requests across sessions coalesce into one DBMS
+//     fetch (single-flight), and a session's newer batch cancels its stale
+//     queued entries. NewServer wires one scheduler (plus an optional
+//     cross-session tile pool and bounded session table) across every
+//     session; NewMiddleware keeps the paper's synchronous mode so the
+//     experiments stay deterministic;
 //   - a user-study simulator (internal/study) and the experiment harness
 //     reproducing every table and figure of the paper (internal/eval).
 //

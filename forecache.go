@@ -2,6 +2,7 @@ package forecache
 
 import (
 	"fmt"
+	"time"
 
 	"forecache/internal/array"
 	"forecache/internal/backend"
@@ -9,6 +10,7 @@ import (
 	"forecache/internal/eval"
 	"forecache/internal/modis"
 	"forecache/internal/phase"
+	"forecache/internal/prefetch"
 	"forecache/internal/recommend"
 	"forecache/internal/server"
 	"forecache/internal/sig"
@@ -44,6 +46,11 @@ type (
 	Harness = eval.Harness
 	// Server is the HTTP middleware front door.
 	Server = server.Server
+	// Scheduler is the shared asynchronous prefetch pipeline.
+	Scheduler = prefetch.Scheduler
+	// PrefetchStats snapshots scheduler activity (queued, coalesced,
+	// cancelled, completed, queue latency, ...).
+	PrefetchStats = prefetch.Stats
 )
 
 // Dataset bundles a built world: the array database, the NDSI array, the
@@ -155,6 +162,28 @@ type MiddlewareConfig struct {
 	Clock backend.Clock
 	// MaxClassifierRequests caps SVM training size. Default 800.
 	MaxClassifierRequests int
+
+	// AsyncPrefetch routes every server session's prefetching through one
+	// shared asynchronous scheduler (submit-and-return with cross-session
+	// coalescing) instead of fetching inline on the response path. Only
+	// NewServer honors this; engines built by NewMiddleware stay
+	// synchronous so the eval harness and paper experiments remain
+	// deterministic.
+	AsyncPrefetch bool
+	// PrefetchWorkers sizes the scheduler's worker pool (the concurrent
+	// DBMS fetch budget). Default 4.
+	PrefetchWorkers int
+	// PrefetchQueue caps queued prefetch entries per session. Default 64.
+	PrefetchQueue int
+	// SharedTiles > 0 wraps the server's DBMS in a cross-session
+	// backend.SharedPool of that many tiles, so popular tiles are fetched
+	// once and reused by every session. Only NewServer honors this.
+	SharedTiles int
+	// MaxSessions caps live server sessions; the least recently used
+	// session is evicted past the cap. 0 = unlimited.
+	MaxSessions int
+	// SessionTTL evicts server sessions idle longer than this. 0 = never.
+	SessionTTL time.Duration
 }
 
 func (c MiddlewareConfig) withDefaults() MiddlewareConfig {
@@ -185,9 +214,18 @@ func (c MiddlewareConfig) withDefaults() MiddlewareConfig {
 // NewMiddleware builds the paper's full two-level middleware for one
 // session: phase classifier and Markov chain trained on the given traces,
 // SIFT-based SB model over the dataset's signatures, hybrid allocation
-// policy, cache manager and DBMS adapter.
+// policy, cache manager and DBMS adapter. The engine prefetches
+// synchronously (the deterministic mode the eval harness replays); the
+// asynchronous shared pipeline is a NewServer concern.
 func (d *Dataset) NewMiddleware(train []*trace.Trace, cfg MiddlewareConfig) (*core.Engine, error) {
 	cfg = cfg.withDefaults()
+	db := backend.NewDBMS(d.Pyramid, cfg.Latency, cfg.Clock)
+	return d.assembleEngine(db, train, cfg)
+}
+
+// assembleEngine builds one two-level engine over an existing store, so
+// several sessions can share a DBMS adapter, pool and scheduler.
+func (d *Dataset) assembleEngine(store backend.Store, train []*trace.Trace, cfg MiddlewareConfig, opts ...core.Option) (*core.Engine, error) {
 	ab, err := recommend.NewAB(cfg.ABOrder, train)
 	if err != nil {
 		return nil, err
@@ -201,20 +239,49 @@ func (d *Dataset) NewMiddleware(train []*trace.Trace, cfg MiddlewareConfig) (*co
 	if err != nil {
 		return nil, fmt.Errorf("forecache: train phase classifier: %w", err)
 	}
-	db := backend.NewDBMS(d.Pyramid, cfg.Latency, cfg.Clock)
-	return core.NewEngine(db, cls, core.NewHybridPolicy(ab.Name(), sb.Name()),
-		[]recommend.Model{ab, sb}, core.Config{K: cfg.K, D: cfg.D, HistoryLen: cfg.HistoryLen})
+	return core.NewEngine(store, cls, core.NewHybridPolicy(ab.Name(), sb.Name()),
+		[]recommend.Model{ab, sb}, core.Config{K: cfg.K, D: cfg.D, HistoryLen: cfg.HistoryLen}, opts...)
 }
 
 // NewServer wraps the dataset in an HTTP middleware server; each session
-// gets its own freshly assembled engine.
+// gets its own freshly assembled engine, but all sessions share one DBMS
+// adapter — optionally behind a cross-session tile pool (SharedTiles) and
+// an asynchronous prefetch scheduler (AsyncPrefetch), the Figure 5
+// deployment grown to multi-user scale. Call Close on the returned server
+// to stop the scheduler's workers.
 func (d *Dataset) NewServer(train []*trace.Trace, cfg MiddlewareConfig) *server.Server {
+	cfg = cfg.withDefaults()
 	meta := server.Meta{
 		Levels:   d.Pyramid.NumLevels(),
 		TileSize: d.Pyramid.TileSize(),
 		Attrs:    d.Pyramid.Attrs(),
 	}
-	return server.New(meta, func() (*core.Engine, error) {
-		return d.NewMiddleware(train, cfg)
-	})
+	db := backend.NewDBMS(d.Pyramid, cfg.Latency, cfg.Clock)
+	var store backend.Store = db
+	if cfg.SharedTiles > 0 {
+		store = backend.NewSharedPool(db, cfg.SharedTiles)
+	}
+	var sched *prefetch.Scheduler
+	var opts []server.Option
+	if cfg.AsyncPrefetch {
+		sched = prefetch.NewScheduler(store, prefetch.Config{
+			Workers:         cfg.PrefetchWorkers,
+			QueuePerSession: cfg.PrefetchQueue,
+		})
+		opts = append(opts, server.WithScheduler(sched))
+	}
+	if cfg.MaxSessions > 0 {
+		opts = append(opts, server.WithSessionLimit(cfg.MaxSessions))
+	}
+	if cfg.SessionTTL > 0 {
+		opts = append(opts, server.WithSessionTTL(cfg.SessionTTL))
+	}
+	factory := func(session string) (*core.Engine, error) {
+		var engOpts []core.Option
+		if sched != nil {
+			engOpts = append(engOpts, core.WithScheduler(sched, session))
+		}
+		return d.assembleEngine(store, train, cfg, engOpts...)
+	}
+	return server.New(meta, factory, opts...)
 }

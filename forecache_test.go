@@ -1,10 +1,13 @@
 package forecache
 
 import (
+	"net/http/httptest"
 	"sync"
 	"testing"
+	"time"
 
 	"forecache/internal/array"
+	"forecache/internal/client"
 	"forecache/internal/sig"
 	"forecache/internal/tile"
 )
@@ -147,5 +150,51 @@ func TestWorldDeterminism(t *testing.T) {
 				t.Fatalf("signature %s differs across identical builds", name)
 			}
 		}
+	}
+}
+
+func TestAsyncServerFacade(t *testing.T) {
+	ds, traces := testWorld(t)
+	srv := ds.NewServer(traces, MiddlewareConfig{
+		K: 5, AsyncPrefetch: true, PrefetchWorkers: 4,
+		SharedTiles: 64, MaxSessions: 8, SessionTTL: time.Hour,
+	})
+	defer srv.Close()
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+
+	// Two analysts walk the same path through one shared scheduler.
+	walk := []Coord{{}, {Level: 1}, {Level: 2}}
+	for _, session := range []string{"alice", "bob"} {
+		c := client.New(ts.URL, session)
+		for _, coord := range walk {
+			if _, _, err := c.Tile(coord); err != nil {
+				t.Fatalf("%s: %v", session, err)
+			}
+		}
+	}
+	sched := srv.Scheduler()
+	if sched == nil {
+		t.Fatal("async server should expose its scheduler")
+	}
+	sched.Drain()
+	st := sched.Stats()
+	if st.Queued == 0 || st.Completed == 0 {
+		t.Errorf("scheduler never ran: %+v", st)
+	}
+	if st.Pending != 0 || st.Inflight != 0 {
+		t.Errorf("scheduler not drained: %+v", st)
+	}
+	if srv.Sessions() != 2 {
+		t.Errorf("sessions = %d, want 2", srv.Sessions())
+	}
+}
+
+func TestSyncServerFacadeHasNoScheduler(t *testing.T) {
+	ds, traces := testWorld(t)
+	srv := ds.NewServer(traces, MiddlewareConfig{K: 5})
+	defer srv.Close()
+	if srv.Scheduler() != nil {
+		t.Error("synchronous server should not build a scheduler")
 	}
 }

@@ -1,0 +1,3 @@
+module forecache
+
+go 1.24

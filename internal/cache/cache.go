@@ -117,6 +117,40 @@ func (m *Manager) FillPredictions(model string, tiles []*tile.Tile) {
 	m.stats.Prefetched += len(tiles)
 }
 
+// InsertPrediction adds one asynchronously prefetched tile to a model's
+// region, newest first, trimmed to the model's current allotment. Unlike
+// FillPredictions (the synchronous path, which replaces a region with a
+// whole ranked batch), tiles delivered by the prefetch scheduler arrive one
+// at a time and possibly out of order; the region behaves as a small
+// ring: a duplicate coordinate is refreshed in place, and tiles beyond the
+// allotment fall off the old end as evictions. A model with no allotment
+// drops the tile.
+func (m *Manager) InsertPrediction(model string, t *tile.Tile) {
+	if t == nil {
+		return
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	k := m.allocs[model]
+	if k <= 0 {
+		return
+	}
+	region := m.regions[model]
+	out := make([]*tile.Tile, 0, len(region)+1)
+	out = append(out, t)
+	for _, old := range region {
+		if old != nil && old.Coord != t.Coord {
+			out = append(out, old)
+		}
+	}
+	if len(out) > k {
+		m.stats.Evicted += len(out) - k
+		out = out[:k]
+	}
+	m.regions[model] = out
+	m.stats.Prefetched++
+}
+
 // Lookup returns the cached tile for c from any region, counting a hit or
 // miss. The model regions are checked first (prefetched tiles), then the
 // recent-request LRU.

@@ -211,3 +211,40 @@ func BenchmarkLookup(b *testing.B) {
 		m.Lookup(c)
 	}
 }
+
+func TestInsertPredictionRingBehavior(t *testing.T) {
+	m := NewManager(2)
+	m.SetAllocations(map[string]int{"ab": 2})
+	a, b, c := mkTile(2, 0, 0), mkTile(2, 0, 1), mkTile(2, 1, 0)
+	m.InsertPrediction("ab", a)
+	m.InsertPrediction("ab", b)
+	if !m.Peek(a.Coord) || !m.Peek(b.Coord) {
+		t.Fatal("both inserted predictions should be cached")
+	}
+	// A third insert evicts the oldest (a).
+	m.InsertPrediction("ab", c)
+	if m.Peek(a.Coord) {
+		t.Error("oldest prediction should have been evicted")
+	}
+	if !m.Peek(b.Coord) || !m.Peek(c.Coord) {
+		t.Error("newest two predictions should remain")
+	}
+	// Re-inserting an existing coordinate refreshes, not duplicates.
+	m.InsertPrediction("ab", b)
+	st := m.Stats()
+	if st.Prefetched != 4 {
+		t.Errorf("Prefetched = %d, want 4", st.Prefetched)
+	}
+	if st.Evicted != 1 {
+		t.Errorf("Evicted = %d, want 1", st.Evicted)
+	}
+}
+
+func TestInsertPredictionNoAllotment(t *testing.T) {
+	m := NewManager(2)
+	m.SetAllocations(map[string]int{"ab": 1})
+	m.InsertPrediction("unknown", mkTile(1, 0, 0))
+	if m.Len() != 0 {
+		t.Error("prediction for an unallocated model must be dropped")
+	}
+}

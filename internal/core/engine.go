@@ -9,12 +9,14 @@ package core
 
 import (
 	"fmt"
+	"sort"
 	"sync"
 	"time"
 
 	"forecache/internal/backend"
 	"forecache/internal/cache"
 	"forecache/internal/phase"
+	"forecache/internal/prefetch"
 	"forecache/internal/recommend"
 	"forecache/internal/tile"
 	"forecache/internal/trace"
@@ -68,6 +70,31 @@ type Response struct {
 	Prefetched []tile.Coord
 }
 
+// Submitter is the asynchronous prefetch pipeline engines hand ranked
+// candidate batches to (implemented by *prefetch.Scheduler). Submit
+// enqueues a batch and returns immediately; CancelSession drops a
+// session's still-queued entries.
+type Submitter interface {
+	Submit(session string, reqs []prefetch.Request) int
+	CancelSession(session string)
+}
+
+// Option customizes an Engine beyond Config.
+type Option func(*Engine)
+
+// WithScheduler switches the engine from inline (synchronous) prefetching
+// to submit-and-return: after each request the ranked candidates are handed
+// to the shared scheduler under the given session id, and the DBMS fetches
+// happen off the response path, delivered into this engine's cache as they
+// complete. The synchronous default is kept for the eval harness so paper
+// experiments stay deterministic.
+func WithScheduler(s Submitter, session string) Option {
+	return func(e *Engine) {
+		e.sched = s
+		e.session = session
+	}
+}
+
 // Engine is one user session's middleware: prediction engine + cache
 // manager + DBMS adapter (Figure 5). It is safe for concurrent use, though
 // a session's requests are inherently sequential.
@@ -77,17 +104,22 @@ type Engine struct {
 	classifier *phase.Classifier // nil => phase always PhaseUnknown
 	policy     AllocationPolicy
 	models     map[string]recommend.Model
+	sched      Submitter // nil => inline synchronous prefetch
+	session    string
 
 	mu      sync.Mutex
 	cache   *cache.Manager
 	history *trace.History
 	last    trace.Request
 	started bool
+	// epoch increments on Reset so asynchronous deliveries submitted
+	// before a Reset cannot repopulate the freshly cleared cache.
+	epoch uint64
 }
 
 // NewEngine assembles an engine. classifier may be nil (single-model
 // baselines); every model named by the policy must be present.
-func NewEngine(db backend.Store, classifier *phase.Classifier, policy AllocationPolicy, models []recommend.Model, cfg Config) (*Engine, error) {
+func NewEngine(db backend.Store, classifier *phase.Classifier, policy AllocationPolicy, models []recommend.Model, cfg Config, opts ...Option) (*Engine, error) {
 	cfg = cfg.withDefaults()
 	if db == nil {
 		return nil, fmt.Errorf("core: nil DBMS")
@@ -109,7 +141,7 @@ func NewEngine(db backend.Store, classifier *phase.Classifier, policy Allocation
 			return nil, fmt.Errorf("core: policy references unknown model %q", name)
 		}
 	}
-	return &Engine{
+	e := &Engine{
 		cfg:        cfg,
 		db:         db,
 		classifier: classifier,
@@ -117,7 +149,43 @@ func NewEngine(db backend.Store, classifier *phase.Classifier, policy Allocation
 		models:     byName,
 		cache:      cache.NewManager(cfg.RecentTiles),
 		history:    trace.NewHistory(cfg.HistoryLen),
-	}, nil
+	}
+	for _, opt := range opts {
+		opt(e)
+	}
+	return e, nil
+}
+
+// Async reports whether prefetching is routed through a shared scheduler.
+func (e *Engine) Async() bool {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.sched != nil
+}
+
+// DetachScheduler disconnects the engine from the shared scheduler; later
+// requests prefetch inline and pending deliveries are discarded. The server
+// calls this when evicting a session, before cancelling the session's
+// scheduler state: acquiring the engine lock waits out any in-flight
+// request, so no Submit can trail the detach and resurrect the session.
+func (e *Engine) DetachScheduler() {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.sched = nil
+	e.epoch++
+}
+
+// deliver installs an asynchronously fetched tile into the model's cache
+// region — unless the engine was reset or detached after the tile was
+// requested, in which case the stale delivery is dropped. Runs on a
+// scheduler worker; it holds the engine lock so it serializes with Reset.
+func (e *Engine) deliver(model string, epoch uint64, t *tile.Tile) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.epoch != epoch || e.sched == nil {
+		return
+	}
+	e.cache.InsertPrediction(model, t)
 }
 
 // Config returns the engine's configuration.
@@ -145,6 +213,10 @@ func (e *Engine) Reset() {
 	}
 	e.last = trace.Request{Move: trace.None}
 	e.started = false
+	e.epoch++
+	if e.sched != nil {
+		e.sched.CancelSession(e.session)
+	}
 }
 
 // Request serves a tile request addressed by coordinate, inferring the
@@ -194,24 +266,29 @@ func (e *Engine) Request(c tile.Coord) (*Response, error) {
 	}
 
 	// Bottom level: re-evaluate allocations, run the models in parallel,
-	// and prefetch their top-ranked tiles for the next request.
+	// and prefetch their top-ranked tiles for the next request — inline by
+	// default, or submitted to the shared scheduler in async mode.
 	allocs := e.policy.Allocations(resp.Phase, e.cfg.K)
 	e.cache.SetAllocations(allocs)
-	resp.Prefetched = e.prefetch(req, allocs)
+	if e.sched != nil {
+		resp.Prefetched = e.submitPrefetch(req, allocs)
+	} else {
+		resp.Prefetched = e.prefetch(req, allocs)
+	}
 	return resp, nil
 }
 
-// prefetch asks each allotted model for ranked predictions concurrently
-// (the paper runs recommenders in parallel), then loads the winners into
-// the cache via quiet DBMS fetches (prefetching happens while the user
-// analyzes the current view, off the response path).
-func (e *Engine) prefetch(req trace.Request, allocs map[string]int) []tile.Coord {
+// modelRanked pairs one model's name with its top-k ranked predictions.
+type modelRanked struct {
+	name   string
+	ranked []recommend.Ranked
+}
+
+// rankModels runs every allotted model concurrently (the paper runs
+// recommenders in parallel) and collects their top-ranked candidates.
+func (e *Engine) rankModels(req trace.Request, allocs map[string]int) []modelRanked {
 	cands := recommend.Candidates(e.db.Pyramid(), req.Coord, e.cfg.D)
-	type result struct {
-		name   string
-		ranked []recommend.Ranked
-	}
-	results := make(chan result, len(allocs))
+	results := make(chan modelRanked, len(allocs))
 	var wg sync.WaitGroup
 	for name, k := range allocs {
 		m := e.models[name]
@@ -222,15 +299,26 @@ func (e *Engine) prefetch(req trace.Request, allocs map[string]int) []tile.Coord
 		go func(name string, m recommend.Model, k int) {
 			defer wg.Done()
 			ranked := recommend.TopK(m.Predict(req, cands, e.history), k)
-			results <- result{name: name, ranked: ranked}
+			results <- modelRanked{name: name, ranked: ranked}
 		}(name, m, k)
 	}
 	wg.Wait()
 	close(results)
+	out := make([]modelRanked, 0, len(allocs))
+	for r := range results {
+		out = append(out, r)
+	}
+	return out
+}
 
+// prefetch is the synchronous path: it loads the models' winners into the
+// cache via quiet DBMS fetches inline (prefetching happens while the user
+// analyzes the current view, off the response path). The eval harness uses
+// this mode so the paper's experiments stay deterministic.
+func (e *Engine) prefetch(req trace.Request, allocs map[string]int) []tile.Coord {
 	var fetched []tile.Coord
 	seen := map[tile.Coord]bool{}
-	for r := range results {
+	for _, r := range e.rankModels(req, allocs) {
 		tiles := make([]*tile.Tile, 0, len(r.ranked))
 		for _, pred := range r.ranked {
 			t, err := e.db.FetchQuiet(pred.Coord)
@@ -246,4 +334,43 @@ func (e *Engine) prefetch(req trace.Request, allocs map[string]int) []tile.Coord
 		e.cache.FillPredictions(r.name, tiles)
 	}
 	return fetched
+}
+
+// submitPrefetch is the asynchronous path: the ranked candidates become one
+// batch submitted to the shared scheduler, which fetches them off the
+// response path (coalescing duplicates across sessions) and delivers each
+// tile into this engine's cache as it completes. The returned coordinates
+// are the ones submitted, not necessarily loaded yet.
+func (e *Engine) submitPrefetch(req trace.Request, allocs map[string]int) []tile.Coord {
+	var reqs []prefetch.Request
+	var submitted []tile.Coord
+	seen := map[tile.Coord]bool{}
+	epoch := e.epoch // caller holds e.mu
+	for _, r := range e.rankModels(req, allocs) {
+		name := r.name
+		for _, pred := range r.ranked {
+			reqs = append(reqs, prefetch.Request{
+				Coord: pred.Coord,
+				Score: pred.Score,
+				Deliver: func(t *tile.Tile) {
+					e.deliver(name, epoch, t)
+				},
+			})
+			if !seen[pred.Coord] {
+				seen[pred.Coord] = true
+				submitted = append(submitted, pred.Coord)
+			}
+		}
+	}
+	// Model results arrive in goroutine-completion order; sort so the batch
+	// the scheduler sees (and therefore its queue order) is deterministic.
+	sort.SliceStable(reqs, func(i, j int) bool {
+		if reqs[i].Score != reqs[j].Score {
+			return reqs[i].Score > reqs[j].Score
+		}
+		return reqs[i].Coord.Less(reqs[j].Coord)
+	})
+	sort.Slice(submitted, func(i, j int) bool { return submitted[i].Less(submitted[j]) })
+	e.sched.Submit(e.session, reqs)
+	return submitted
 }

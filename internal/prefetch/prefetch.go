@@ -1,0 +1,98 @@
+// Package prefetch is the middleware's asynchronous prefetch pipeline: a
+// server-wide scheduler that decouples the prediction engine (which decides
+// *which* tiles to prefetch) from the DBMS fetches that load them. Engines
+// submit ranked candidate batches and return immediately; a bounded worker
+// pool issues the fetches off the response path, in priority order, with
+// per-session fairness.
+//
+// The design follows Khameleon's split of prediction from a utility-ordered,
+// budget-bound fetch scheduler, and Kyrix's middleware-throughput argument
+// for multi-user tile serving:
+//
+//   - each session keeps a priority queue of pending candidates ordered by
+//     model confidence, and sessions with pending work are drained
+//     round-robin so one aggressive session cannot starve the others;
+//   - the worker pool bounds concurrent DBMS fetches (the inflight budget);
+//   - duplicate requests coalesce: when N sessions want the same tile, one
+//     DBMS fetch is issued and its result is delivered to all N waiters
+//     (single-flight), both for queued duplicates and for requests arriving
+//     while a fetch is already in flight;
+//   - a session's newer batch supersedes its older one: queued entries from
+//     previous batches are cancelled before they reach the DBMS, since the
+//     predictions they came from are stale.
+//
+// The scheduler is shared by every session of one deployment and composes
+// with backend.SharedPool: the pool deduplicates tiles across time (a tile
+// fetched yesterday is still pooled), the scheduler deduplicates fetches in
+// flight right now.
+package prefetch
+
+import (
+	"time"
+
+	"forecache/internal/tile"
+)
+
+// Request is one candidate tile a session asks the scheduler to prefetch.
+type Request struct {
+	// Coord addresses the wanted tile.
+	Coord tile.Coord
+	// Score is the recommender's confidence; higher scores are fetched
+	// first within the session.
+	Score float64
+	// Deliver is invoked with the fetched tile off the response path
+	// (typically it inserts into the session's cache region). It must be
+	// safe to call from a scheduler worker goroutine. May be nil.
+	Deliver func(*tile.Tile)
+}
+
+// Config sizes a scheduler.
+type Config struct {
+	// Workers is the bounded worker pool size: the maximum number of
+	// concurrent DBMS fetches (the inflight budget). Default 4.
+	Workers int
+	// QueuePerSession caps how many entries one session may have queued;
+	// submissions beyond the cap drop the lowest-scored entries. Default 64.
+	QueuePerSession int
+}
+
+// DefaultConfig returns the default scheduler sizing.
+func DefaultConfig() Config { return Config{Workers: 4, QueuePerSession: 64} }
+
+func (c Config) withDefaults() Config {
+	d := DefaultConfig()
+	if c.Workers <= 0 {
+		c.Workers = d.Workers
+	}
+	if c.QueuePerSession <= 0 {
+		c.QueuePerSession = d.QueuePerSession
+	}
+	return c
+}
+
+// Stats snapshots scheduler activity since construction.
+type Stats struct {
+	// Queued counts entries accepted into the queue.
+	Queued int
+	// Dropped counts entries rejected by the per-session queue budget.
+	Dropped int
+	// Cancelled counts queued entries superseded by a newer batch (or a
+	// session eviction) before their fetch was issued.
+	Cancelled int
+	// Coalesced counts entries that shared another entry's DBMS fetch
+	// instead of issuing their own (single-flight).
+	Coalesced int
+	// Completed counts entries whose tile was fetched and delivered.
+	Completed int
+	// Errors counts entries whose fetch failed.
+	Errors int
+	// Pending is the number of entries queued right now.
+	Pending int
+	// Inflight is the number of DBMS fetches running right now.
+	Inflight int
+	// Sessions is the number of sessions with scheduler state.
+	Sessions int
+	// AvgQueueLatency is the mean time entries spent queued before their
+	// fetch was issued (or joined).
+	AvgQueueLatency time.Duration
+}

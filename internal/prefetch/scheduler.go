@@ -1,0 +1,406 @@
+package prefetch
+
+import (
+	"container/heap"
+	"sort"
+	"sync"
+	"time"
+
+	"forecache/internal/backend"
+	"forecache/internal/tile"
+)
+
+// entry states.
+const (
+	stateQueued = iota
+	stateDone   // cancelled, coalesced, or handed to a worker
+)
+
+// entry is one queued Request plus its scheduling bookkeeping.
+type entry struct {
+	req      Request
+	session  string
+	seq      uint64 // tiebreak: earlier submissions first at equal score
+	enqueued time.Time
+	state    int
+}
+
+// entryHeap orders a session's pending entries by score descending.
+type entryHeap []*entry
+
+func (h entryHeap) Len() int { return len(h) }
+func (h entryHeap) Less(i, j int) bool {
+	if h[i].req.Score != h[j].req.Score {
+		return h[i].req.Score > h[j].req.Score
+	}
+	return h[i].seq < h[j].seq
+}
+func (h entryHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *entryHeap) Push(x any)   { *h = append(*h, x.(*entry)) }
+func (h *entryHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return e
+}
+
+// sessionQueue holds one session's pending entries.
+type sessionQueue struct {
+	id      string
+	pending entryHeap
+	queued  int  // live (stateQueued) entries, for the budget
+	inRing  bool // whether id is in the round-robin ring
+}
+
+// flight is one in-flight DBMS fetch and the requests waiting on it.
+type flight struct {
+	waiters []Request
+}
+
+// Scheduler is the shared asynchronous prefetch pipeline. Construct with
+// NewScheduler; it is safe for concurrent use by any number of sessions.
+type Scheduler struct {
+	store backend.Store
+	cfg   Config
+
+	mu         sync.Mutex
+	work       *sync.Cond // signaled when queued work or shutdown arrives
+	idle       *sync.Cond // signaled when queued+inflight may have drained
+	sessions   map[string]*sessionQueue
+	rr         []string // round-robin ring of session ids with pending work
+	rrPos      int
+	byCoord    map[tile.Coord]map[*entry]struct{} // queued entries by coordinate
+	inflight   map[tile.Coord]*flight
+	delivering int // completed fetches whose Deliver callbacks still run
+	seq        uint64
+	closed     bool
+
+	stats        Stats
+	queueLatency time.Duration // summed over issued/coalesced entries
+	measured     int
+
+	wg sync.WaitGroup
+}
+
+// NewScheduler starts a scheduler fetching from store with cfg.Workers
+// workers. Call Close to stop them.
+func NewScheduler(store backend.Store, cfg Config) *Scheduler {
+	s := &Scheduler{
+		store:    store,
+		cfg:      cfg.withDefaults(),
+		sessions: make(map[string]*sessionQueue),
+		byCoord:  make(map[tile.Coord]map[*entry]struct{}),
+		inflight: make(map[tile.Coord]*flight),
+	}
+	s.work = sync.NewCond(&s.mu)
+	s.idle = sync.NewCond(&s.mu)
+	s.wg.Add(s.cfg.Workers)
+	for i := 0; i < s.cfg.Workers; i++ {
+		go s.worker()
+	}
+	return s
+}
+
+// Submit replaces session's pending batch with reqs: entries still queued
+// from earlier batches are cancelled (their predictions are stale), then
+// reqs are enqueued in score order subject to the per-session budget. It
+// returns the number of entries accepted. Fetches already in flight are not
+// interrupted. Safe to call concurrently; a no-op after Close.
+func (s *Scheduler) Submit(session string, reqs []Request) int {
+	now := time.Now()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return 0
+	}
+	sq := s.sessions[session]
+	if sq == nil {
+		sq = &sessionQueue{id: session}
+		s.sessions[session] = sq
+	}
+	s.cancelQueuedLocked(sq)
+	// Process the batch in descending score order: the queue was just
+	// cleared, so when the budget truncates, it is exactly the batch's
+	// lowest-scored entries that drop (the documented contract), whatever
+	// order the caller built the slice in.
+	order := make([]int, len(reqs))
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool {
+		return reqs[order[a]].Score > reqs[order[b]].Score
+	})
+	accepted, enqueued := 0, 0
+	for _, i := range order {
+		// A fetch for this tile is already in flight (another session's,
+		// typically): piggyback on it instead of queueing a duplicate.
+		if fl, ok := s.inflight[reqs[i].Coord]; ok {
+			fl.waiters = append(fl.waiters, reqs[i])
+			s.stats.Coalesced++
+			accepted++
+			continue
+		}
+		if sq.queued >= s.cfg.QueuePerSession {
+			// Over budget for queueing — but keep scanning: lower-scored
+			// requests may still piggyback on in-flight fetches at zero
+			// queue cost.
+			s.stats.Dropped++
+			continue
+		}
+		s.seq++
+		e := &entry{req: reqs[i], session: session, seq: s.seq, enqueued: now}
+		heap.Push(&sq.pending, e)
+		sq.queued++
+		set := s.byCoord[e.req.Coord]
+		if set == nil {
+			set = make(map[*entry]struct{})
+			s.byCoord[e.req.Coord] = set
+		}
+		set[e] = struct{}{}
+		accepted++
+		enqueued++
+	}
+	s.stats.Queued += accepted
+	s.stats.Pending += enqueued
+	if enqueued > 0 {
+		if !sq.inRing {
+			sq.inRing = true
+			s.rr = append(s.rr, session)
+		}
+		s.work.Broadcast()
+	}
+	return accepted
+}
+
+// CancelSession drops session's queued entries and forgets its scheduler
+// state (used when the server evicts an idle session). In-flight fetches
+// complete normally.
+func (s *Scheduler) CancelSession(session string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	sq := s.sessions[session]
+	if sq == nil {
+		return
+	}
+	s.cancelQueuedLocked(sq)
+	if sq.inRing {
+		s.removeFromRingLocked(session)
+	}
+	delete(s.sessions, session)
+	s.idle.Broadcast()
+}
+
+// removeFromRingLocked drops one session id from the round-robin ring,
+// keeping the rotation position stable.
+func (s *Scheduler) removeFromRingLocked(session string) {
+	for i, id := range s.rr {
+		if id != session {
+			continue
+		}
+		s.rr = append(s.rr[:i], s.rr[i+1:]...)
+		if s.rrPos > i {
+			s.rrPos--
+		}
+		return
+	}
+}
+
+// Drain blocks until no entries are queued and no fetches are in flight.
+// Deliveries for completed fetches finish before Drain returns, so tests
+// and examples can read caches deterministically afterwards.
+func (s *Scheduler) Drain() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for s.stats.Pending > 0 || len(s.inflight) > 0 || s.delivering > 0 {
+		s.idle.Wait()
+	}
+}
+
+// Close stops the workers after cancelling all queued entries and waits for
+// in-flight fetches to finish delivering.
+func (s *Scheduler) Close() {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return
+	}
+	s.closed = true
+	for _, sq := range s.sessions {
+		s.cancelQueuedLocked(sq)
+	}
+	s.work.Broadcast()
+	s.idle.Broadcast() // cancelling zeroed Pending: wake concurrent Drains
+	s.mu.Unlock()
+	s.wg.Wait()
+	// Workers are gone; wait out the detached delivery goroutines too.
+	s.mu.Lock()
+	for s.delivering > 0 {
+		s.idle.Wait()
+	}
+	s.mu.Unlock()
+}
+
+// Stats snapshots the scheduler counters.
+func (s *Scheduler) Stats() Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st := s.stats
+	st.Inflight = len(s.inflight)
+	st.Sessions = len(s.sessions)
+	if s.measured > 0 {
+		st.AvgQueueLatency = s.queueLatency / time.Duration(s.measured)
+	}
+	return st
+}
+
+// cancelQueuedLocked marks all of sq's queued entries cancelled. It wakes
+// Drain waiters: cancellation may have emptied the queue for good (e.g. a
+// Submit whose whole batch is dropped or piggybacked enqueues nothing).
+func (s *Scheduler) cancelQueuedLocked(sq *sessionQueue) {
+	cancelled := false
+	for _, e := range sq.pending {
+		if e.state == stateQueued {
+			e.state = stateDone
+			s.detachLocked(e)
+			s.stats.Cancelled++
+			s.stats.Pending--
+			cancelled = true
+		}
+	}
+	sq.pending = sq.pending[:0]
+	sq.queued = 0
+	if cancelled {
+		s.idle.Broadcast()
+	}
+}
+
+// detachLocked removes a no-longer-queued entry from the coordinate index.
+func (s *Scheduler) detachLocked(e *entry) {
+	if set, ok := s.byCoord[e.req.Coord]; ok {
+		delete(set, e)
+		if len(set) == 0 {
+			delete(s.byCoord, e.req.Coord)
+		}
+	}
+}
+
+// popNextLocked picks the next entry to fetch: sessions with pending work
+// are visited round-robin, and within a session the highest-scored entry
+// wins. Returns nil when nothing is queued.
+func (s *Scheduler) popNextLocked() *entry {
+	for len(s.rr) > 0 {
+		if s.rrPos >= len(s.rr) {
+			s.rrPos = 0
+		}
+		id := s.rr[s.rrPos]
+		sq := s.sessions[id]
+		var e *entry
+		for sq != nil && sq.pending.Len() > 0 {
+			top := heap.Pop(&sq.pending).(*entry)
+			if top.state != stateQueued {
+				continue // lazily discarded (cancelled or coalesced)
+			}
+			e = top
+			break
+		}
+		if e == nil {
+			// Session has no live work: drop it from the rotation.
+			if sq != nil {
+				sq.inRing = false
+			}
+			s.rr = append(s.rr[:s.rrPos], s.rr[s.rrPos+1:]...)
+			continue
+		}
+		s.rrPos++
+		e.state = stateDone
+		sq.queued--
+		s.detachLocked(e)
+		return e
+	}
+	return nil
+}
+
+// worker is one pool goroutine: it pops entries fairly, coalesces
+// duplicates, and issues at most one DBMS fetch at a time.
+func (s *Scheduler) worker() {
+	defer s.wg.Done()
+	for {
+		s.mu.Lock()
+		var e *entry
+		for {
+			e = s.popNextLocked()
+			if e != nil || s.closed {
+				break
+			}
+			s.work.Wait()
+		}
+		if e == nil { // closed and drained
+			s.mu.Unlock()
+			return
+		}
+		now := time.Now()
+		s.accountLatencyLocked(e, now)
+		s.stats.Pending--
+		coord := e.req.Coord
+		if fl, ok := s.inflight[coord]; ok {
+			// Another worker is already fetching this tile: piggyback.
+			fl.waiters = append(fl.waiters, e.req)
+			s.stats.Coalesced++
+			s.mu.Unlock()
+			continue
+		}
+		fl := &flight{waiters: []Request{e.req}}
+		// Absorb queued duplicates from every session: one DBMS round trip
+		// serves them all.
+		for dup := range s.byCoord[coord] {
+			dup.state = stateDone
+			s.sessions[dup.session].queued--
+			fl.waiters = append(fl.waiters, dup.req)
+			s.accountLatencyLocked(dup, now)
+			s.stats.Coalesced++
+			s.stats.Pending--
+		}
+		delete(s.byCoord, coord)
+		s.inflight[coord] = fl
+		s.mu.Unlock()
+
+		t, err := s.store.FetchQuiet(coord)
+
+		s.mu.Lock()
+		delete(s.inflight, coord)
+		// Late arrivals may have piggybacked while we fetched; deliver to
+		// the final waiter set.
+		waiters := fl.waiters
+		if err != nil {
+			s.stats.Errors += len(waiters)
+			s.idle.Broadcast()
+			s.mu.Unlock()
+			continue
+		}
+		s.stats.Completed += len(waiters)
+		s.delivering++
+		s.mu.Unlock()
+		// Deliver off the worker: a Deliver callback may block on a busy
+		// engine's lock, and stalling the shared pool on one session would
+		// be cross-session head-of-line blocking.
+		go func() {
+			for _, w := range waiters {
+				if w.Deliver != nil {
+					w.Deliver(t)
+				}
+			}
+			s.mu.Lock()
+			s.delivering--
+			s.idle.Broadcast()
+			s.mu.Unlock()
+		}()
+	}
+}
+
+// accountLatencyLocked records how long e sat queued.
+func (s *Scheduler) accountLatencyLocked(e *entry, now time.Time) {
+	s.queueLatency += now.Sub(e.enqueued)
+	s.measured++
+}

@@ -91,14 +91,7 @@ func sortRanked(out []Ranked) []Ranked {
 		if out[i].Score != out[j].Score {
 			return out[i].Score > out[j].Score
 		}
-		a, b := out[i].Coord, out[j].Coord
-		if a.Level != b.Level {
-			return a.Level < b.Level
-		}
-		if a.Y != b.Y {
-			return a.Y < b.Y
-		}
-		return a.X < b.X
+		return out[i].Coord.Less(out[j].Coord)
 	})
 	return out
 }

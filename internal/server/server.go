@@ -1,10 +1,15 @@
 // Package server exposes the ForeCache middleware over HTTP: the tile API
 // the client-side visualizer talks to (Figure 5's front-end boundary).
 // Each browser session gets its own prediction engine, history and cache,
-// keyed by a session identifier.
+// keyed by a session identifier. Session state is bounded: an LRU cap and
+// an idle TTL evict stale sessions so long-running deployments don't leak
+// one engine per session id forever. When the deployment routes prefetching
+// through a shared prefetch.Scheduler, the server surfaces its stats and
+// cancels an evicted session's queued fetches.
 package server
 
 import (
+	"container/list"
 	"encoding/json"
 	"fmt"
 	"net/http"
@@ -12,7 +17,9 @@ import (
 	"sync"
 	"time"
 
+	"forecache/internal/cache"
 	"forecache/internal/core"
+	"forecache/internal/prefetch"
 	"forecache/internal/tile"
 )
 
@@ -23,27 +30,70 @@ type Meta struct {
 	Attrs    []string `json:"attrs"`
 }
 
-// EngineFactory builds a fresh prediction engine for a new session.
-type EngineFactory func() (*core.Engine, error)
+// EngineFactory builds a fresh prediction engine for a new session. The
+// session id lets the factory register the engine with a shared prefetch
+// scheduler.
+type EngineFactory func(session string) (*core.Engine, error)
+
+// Option customizes a Server.
+type Option func(*Server)
+
+// WithSessionLimit caps live sessions at n; the least recently used session
+// is evicted when a new one would exceed the cap. n <= 0 means unlimited.
+func WithSessionLimit(n int) Option {
+	return func(s *Server) { s.maxSessions = n }
+}
+
+// WithSessionTTL evicts sessions idle for longer than ttl (checked lazily
+// on access). ttl <= 0 disables expiry.
+func WithSessionTTL(ttl time.Duration) Option {
+	return func(s *Server) { s.ttl = ttl }
+}
+
+// WithScheduler attaches the deployment's shared prefetch scheduler: its
+// stats appear under /stats, evicted sessions' queued fetches are
+// cancelled, and Close shuts it down.
+func WithScheduler(sched *prefetch.Scheduler) Option {
+	return func(s *Server) { s.sched = sched }
+}
+
+// session is one live engine plus its eviction bookkeeping.
+type session struct {
+	id       string
+	eng      *core.Engine
+	el       *list.Element // position in the recency list
+	lastSeen time.Time
+}
 
 // Server is the HTTP middleware front door. Create with New, then mount
 // via Handler (it implements http.Handler).
 type Server struct {
-	meta    Meta
-	factory EngineFactory
-	mux     *http.ServeMux
+	meta        Meta
+	factory     EngineFactory
+	mux         *http.ServeMux
+	sched       *prefetch.Scheduler
+	maxSessions int
+	ttl         time.Duration
+	now         func() time.Time // test hook
 
 	mu       sync.Mutex
-	sessions map[string]*core.Engine
+	sessions map[string]*session
+	recency  *list.List // of *session, front = most recently used
+	evicted  int
 }
 
 // New builds a server for a pyramid-backed middleware.
-func New(meta Meta, factory EngineFactory) *Server {
+func New(meta Meta, factory EngineFactory, opts ...Option) *Server {
 	s := &Server{
 		meta:     meta,
 		factory:  factory,
 		mux:      http.NewServeMux(),
-		sessions: make(map[string]*core.Engine),
+		now:      time.Now,
+		sessions: make(map[string]*session),
+		recency:  list.New(),
+	}
+	for _, opt := range opts {
+		opt(s)
 	}
 	s.mux.HandleFunc("GET /meta", s.handleMeta)
 	s.mux.HandleFunc("GET /tile", s.handleTile)
@@ -55,25 +105,123 @@ func New(meta Meta, factory EngineFactory) *Server {
 // ServeHTTP implements http.Handler.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
 
+// Close releases server resources: the shared scheduler, if any, is shut
+// down after cancelling all queued prefetches.
+func (s *Server) Close() {
+	if s.sched != nil {
+		s.sched.Close()
+	}
+}
+
 // session returns (creating on demand) the engine for the request's
 // session id; the id defaults to "default" so single-user tools need no
-// bookkeeping.
+// bookkeeping. Expired and over-cap sessions are evicted here, on access.
 func (s *Server) session(r *http.Request) (*core.Engine, error) {
 	id := r.URL.Query().Get("session")
 	if id == "" {
 		id = "default"
 	}
 	s.mu.Lock()
-	defer s.mu.Unlock()
-	if eng, ok := s.sessions[id]; ok {
-		return eng, nil
+	now := s.now()
+	evicted := s.sweepLocked(now)
+	if sess, ok := s.sessions[id]; ok {
+		sess.lastSeen = now
+		s.recency.MoveToFront(sess.el)
+		s.mu.Unlock()
+		s.releaseSessions(evicted)
+		return sess.eng, nil
 	}
-	eng, err := s.factory()
+	s.mu.Unlock()
+	s.releaseSessions(evicted)
+
+	// Build the engine outside the lock: assembling one can mean training
+	// models, and stalling every other session on it would serialize the
+	// server.
+	eng, err := s.factory(id)
 	if err != nil {
 		return nil, err
 	}
-	s.sessions[id] = eng
+
+	s.mu.Lock()
+	if sess, ok := s.sessions[id]; ok {
+		// A concurrent request created this session first; use its engine
+		// and discard ours (it never submitted anything to the scheduler).
+		sess.lastSeen = s.now()
+		s.recency.MoveToFront(sess.el)
+		s.mu.Unlock()
+		eng.DetachScheduler()
+		return sess.eng, nil
+	}
+	sess := &session{id: id, eng: eng, lastSeen: s.now()}
+	sess.el = s.recency.PushFront(sess)
+	s.sessions[id] = sess
+	evicted = nil
+	for s.maxSessions > 0 && len(s.sessions) > s.maxSessions {
+		evicted = append(evicted, s.evictLocked(s.recency.Back().Value.(*session)))
+	}
+	s.mu.Unlock()
+	s.releaseSessions(evicted)
 	return eng, nil
+}
+
+// peekSession returns the request's existing engine without creating one —
+// read-only endpoints (/stats) and idempotent ones (/reset) must not spend
+// a factory run, and at the session cap must not evict a live analyst's
+// session, just because a probe named an unknown id.
+func (s *Server) peekSession(r *http.Request) (*core.Engine, bool) {
+	id := r.URL.Query().Get("session")
+	if id == "" {
+		id = "default"
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	sess, ok := s.sessions[id]
+	if !ok {
+		return nil, false
+	}
+	return sess.eng, true
+}
+
+// sweepLocked removes every session idle past the TTL from the tables and
+// returns them for release.
+func (s *Server) sweepLocked(now time.Time) []*session {
+	if s.ttl <= 0 {
+		return nil
+	}
+	var evicted []*session
+	for s.recency.Len() > 0 {
+		oldest := s.recency.Back().Value.(*session)
+		if now.Sub(oldest.lastSeen) <= s.ttl {
+			break
+		}
+		evicted = append(evicted, s.evictLocked(oldest))
+	}
+	return evicted
+}
+
+// evictLocked unlinks a session from the server tables. The scheduler
+// cleanup happens in releaseSessions, outside s.mu: detaching waits out any
+// in-flight request on the session's engine, which must not stall the
+// whole server.
+func (s *Server) evictLocked(sess *session) *session {
+	s.recency.Remove(sess.el)
+	delete(s.sessions, sess.id)
+	s.evicted++
+	return sess
+}
+
+// releaseSessions finishes evictions outside the server lock: the engine is
+// detached first (so a request running right now cannot re-register the
+// session with the scheduler after the cancel), then the session's queued
+// prefetches are dropped.
+func (s *Server) releaseSessions(evicted []*session) {
+	if s.sched == nil {
+		return
+	}
+	for _, sess := range evicted {
+		sess.eng.DetachScheduler()
+		s.sched.CancelSession(sess.id)
+	}
 }
 
 // Sessions returns the number of live sessions.
@@ -82,6 +230,17 @@ func (s *Server) Sessions() int {
 	defer s.mu.Unlock()
 	return len(s.sessions)
 }
+
+// Evicted returns how many sessions have been evicted (TTL or LRU cap).
+func (s *Server) Evicted() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.evicted
+}
+
+// Scheduler returns the attached shared prefetch scheduler (nil when the
+// deployment prefetches inline).
+func (s *Server) Scheduler() *prefetch.Scheduler { return s.sched }
 
 func (s *Server) handleMeta(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, s.meta)
@@ -114,22 +273,36 @@ func (s *Server) handleTile(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, resp.Tile)
 }
 
+// StatsResponse is the /stats payload: the session's cache counters (when
+// the session exists) plus server-wide session and prefetch-pipeline
+// telemetry. Asking for an unknown session returns the server-wide fields
+// only — it does not create a session.
+type StatsResponse struct {
+	Cache     *cache.Stats    `json:"cache,omitempty"`
+	Sessions  int             `json:"sessions"`
+	Evicted   int             `json:"evicted"`
+	Scheduler *prefetch.Stats `json:"scheduler,omitempty"`
+}
+
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
-	eng, err := s.session(r)
-	if err != nil {
-		httpError(w, http.StatusInternalServerError, err)
-		return
+	out := StatsResponse{Sessions: s.Sessions(), Evicted: s.Evicted()}
+	if eng, ok := s.peekSession(r); ok {
+		cs := eng.CacheStats()
+		out.Cache = &cs
 	}
-	writeJSON(w, http.StatusOK, eng.CacheStats())
+	if s.sched != nil {
+		st := s.sched.Stats()
+		out.Scheduler = &st
+	}
+	writeJSON(w, http.StatusOK, out)
 }
 
 func (s *Server) handleReset(w http.ResponseWriter, r *http.Request) {
-	eng, err := s.session(r)
-	if err != nil {
-		httpError(w, http.StatusInternalServerError, err)
-		return
+	// Resetting a session that does not exist is a no-op, not a reason to
+	// build an engine.
+	if eng, ok := s.peekSession(r); ok {
+		eng.Reset()
 	}
-	eng.Reset()
 	w.WriteHeader(http.StatusNoContent)
 }
 

@@ -1,18 +1,21 @@
 package server
 
 import (
+	"fmt"
 	"net/http/httptest"
 	"testing"
+	"time"
 
 	"forecache/internal/array"
 	"forecache/internal/backend"
 	"forecache/internal/client"
 	"forecache/internal/core"
+	"forecache/internal/prefetch"
 	"forecache/internal/recommend"
 	"forecache/internal/tile"
 )
 
-func testServer(t *testing.T) (*Server, *httptest.Server) {
+func testPyramid(t testing.TB) *tile.Pyramid {
 	t.Helper()
 	a := array.NewZero(array.Schema{
 		Name:  "RAW",
@@ -27,15 +30,22 @@ func testServer(t *testing.T) (*Server, *httptest.Server) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	factory := func() (*core.Engine, error) {
+	return pyr
+}
+
+func testServer(t *testing.T, opts ...Option) (*Server, *httptest.Server) {
+	t.Helper()
+	pyr := testPyramid(t)
+	factory := func(session string) (*core.Engine, error) {
 		db := backend.NewDBMS(pyr, backend.DefaultLatency(), nil)
 		m := recommend.NewMomentum()
 		return core.NewEngine(db, nil, core.SinglePolicy{Model: m.Name()},
 			[]recommend.Model{m}, core.Config{K: 4})
 	}
-	srv := New(Meta{Levels: pyr.NumLevels(), TileSize: pyr.TileSize(), Attrs: pyr.Attrs()}, factory)
+	srv := New(Meta{Levels: pyr.NumLevels(), TileSize: pyr.TileSize(), Attrs: pyr.Attrs()}, factory, opts...)
 	ts := httptest.NewServer(srv)
 	t.Cleanup(ts.Close)
+	t.Cleanup(srv.Close)
 	return srv, ts
 }
 
@@ -145,8 +155,15 @@ func TestResetAndStats(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if stats["Misses"].(float64) != 1 {
+	cacheStats, ok := stats["cache"].(map[string]any)
+	if !ok {
+		t.Fatalf("stats = %v, want nested cache block", stats)
+	}
+	if cacheStats["Misses"].(float64) != 1 {
 		t.Errorf("stats = %v", stats)
+	}
+	if stats["sessions"].(float64) < 1 {
+		t.Errorf("sessions = %v", stats["sessions"])
 	}
 	if err := c.Reset(); err != nil {
 		t.Fatalf("Reset: %v", err)
@@ -155,7 +172,187 @@ func TestResetAndStats(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if stats["Misses"].(float64) != 0 {
+	if stats["cache"].(map[string]any)["Misses"].(float64) != 0 {
 		t.Errorf("stats after reset = %v", stats)
+	}
+}
+
+func TestSessionLRUCap(t *testing.T) {
+	srv, ts := testServer(t, WithSessionLimit(2))
+	for _, id := range []string{"a", "b", "c"} {
+		c := client.New(ts.URL, id)
+		if _, _, err := c.Tile(tile.Coord{}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if srv.Sessions() != 2 {
+		t.Errorf("sessions = %d, want 2 (LRU cap)", srv.Sessions())
+	}
+	if srv.Evicted() != 1 {
+		t.Errorf("evicted = %d, want 1", srv.Evicted())
+	}
+	// "a" was evicted: only "b" and "c" survive. (If "a" returns, the
+	// server builds a fresh engine for it — history and cache start over.)
+	srv.mu.Lock()
+	_, aAlive := srv.sessions["a"]
+	_, bAlive := srv.sessions["b"]
+	_, cAlive := srv.sessions["c"]
+	srv.mu.Unlock()
+	if aAlive || !bAlive || !cAlive {
+		t.Errorf("alive sessions a=%v b=%v c=%v, want only b and c", aAlive, bAlive, cAlive)
+	}
+}
+
+func TestSessionTTLEviction(t *testing.T) {
+	srv, ts := testServer(t, WithSessionTTL(time.Minute))
+	clock := time.Unix(1000, 0)
+	srv.now = func() time.Time { return clock }
+
+	a := client.New(ts.URL, "a")
+	if _, _, err := a.Tile(tile.Coord{}); err != nil {
+		t.Fatal(err)
+	}
+	// Ten seconds later "b" arrives: "a" is still fresh.
+	clock = clock.Add(10 * time.Second)
+	b := client.New(ts.URL, "b")
+	if _, _, err := b.Tile(tile.Coord{}); err != nil {
+		t.Fatal(err)
+	}
+	if srv.Sessions() != 2 {
+		t.Fatalf("sessions = %d, want 2", srv.Sessions())
+	}
+	// Two minutes later any access sweeps both idle sessions.
+	clock = clock.Add(2 * time.Minute)
+	c := client.New(ts.URL, "c")
+	if _, _, err := c.Tile(tile.Coord{}); err != nil {
+		t.Fatal(err)
+	}
+	if srv.Sessions() != 1 {
+		t.Errorf("sessions = %d, want 1 (a and b expired)", srv.Sessions())
+	}
+	if srv.Evicted() != 2 {
+		t.Errorf("evicted = %d, want 2", srv.Evicted())
+	}
+}
+
+// TestTTLRefreshOnAccess: activity keeps a session alive past the TTL.
+func TestTTLRefreshOnAccess(t *testing.T) {
+	srv, ts := testServer(t, WithSessionTTL(time.Minute))
+	clock := time.Unix(1000, 0)
+	srv.now = func() time.Time { return clock }
+
+	a := client.New(ts.URL, "a")
+	cur := tile.Coord{}
+	if _, _, err := a.Tile(cur); err != nil {
+		t.Fatal(err)
+	}
+	for i, next := range []tile.Coord{cur.Child(tile.NW), cur.Child(tile.NW).Child(tile.SE), cur.Child(tile.NW)} {
+		clock = clock.Add(45 * time.Second) // never idle a full minute
+		if _, _, err := a.Tile(next); err != nil {
+			t.Fatalf("move %d: %v", i, err)
+		}
+	}
+	if srv.Sessions() != 1 || srv.Evicted() != 0 {
+		t.Errorf("sessions = %d evicted = %d, want 1 and 0", srv.Sessions(), srv.Evicted())
+	}
+}
+
+// asyncTestServer wires a shared DBMS + scheduler, the deployment shape the
+// facade's NewServer produces in async mode.
+func asyncTestServer(t *testing.T, opts ...Option) (*Server, *httptest.Server, *prefetch.Scheduler) {
+	t.Helper()
+	pyr := testPyramid(t)
+	db := backend.NewDBMS(pyr, backend.DefaultLatency(), nil)
+	sched := prefetch.NewScheduler(db, prefetch.Config{Workers: 2})
+	factory := func(session string) (*core.Engine, error) {
+		m := recommend.NewMomentum()
+		return core.NewEngine(db, nil, core.SinglePolicy{Model: m.Name()},
+			[]recommend.Model{m}, core.Config{K: 4},
+			core.WithScheduler(sched, session))
+	}
+	srv := New(Meta{Levels: pyr.NumLevels(), TileSize: pyr.TileSize(), Attrs: pyr.Attrs()},
+		factory, append(opts, WithScheduler(sched))...)
+	ts := httptest.NewServer(srv)
+	t.Cleanup(ts.Close)
+	t.Cleanup(srv.Close)
+	return srv, ts, sched
+}
+
+func TestAsyncServerServesAndReportsSchedulerStats(t *testing.T) {
+	srv, ts, sched := asyncTestServer(t)
+	c := client.New(ts.URL, "u1")
+	if _, _, err := c.Tile(tile.Coord{}); err != nil {
+		t.Fatal(err)
+	}
+	sched.Drain() // let the submitted batch land in the cache
+	_, info, err := c.Tile(tile.Coord{}.Child(tile.NW))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !info.Hit {
+		t.Error("asynchronously prefetched child should hit")
+	}
+	stats, err := c.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	schedStats, ok := stats["scheduler"].(map[string]any)
+	if !ok {
+		t.Fatalf("stats = %v, want scheduler block", stats)
+	}
+	if schedStats["Completed"].(float64) < 4 {
+		t.Errorf("scheduler stats = %v, want >= 4 completed", schedStats)
+	}
+	if srv.Scheduler() != sched {
+		t.Error("Scheduler() should return the attached scheduler")
+	}
+}
+
+// TestEvictionCancelsScheduledPrefetch: evicting a session drops its
+// scheduler state.
+func TestEvictionCancelsScheduledPrefetch(t *testing.T) {
+	_, ts, sched := asyncTestServer(t, WithSessionLimit(1))
+	a := client.New(ts.URL, "a")
+	if _, _, err := a.Tile(tile.Coord{}); err != nil {
+		t.Fatal(err)
+	}
+	b := client.New(ts.URL, "b") // evicts "a"
+	if _, _, err := b.Tile(tile.Coord{}); err != nil {
+		t.Fatal(err)
+	}
+	sched.Drain()
+	if st := sched.Stats(); st.Sessions > 1 {
+		t.Errorf("scheduler still tracks %d sessions after eviction, want <= 1", st.Sessions)
+	}
+}
+
+// TestStatsAndResetDoNotCreateSessions: read-only probes with unknown
+// session ids must not spend a factory run or evict live sessions.
+func TestStatsAndResetDoNotCreateSessions(t *testing.T) {
+	srv, ts := testServer(t, WithSessionLimit(1))
+	a := client.New(ts.URL, "analyst")
+	if _, _, err := a.Tile(tile.Coord{}); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		probe := client.New(ts.URL, fmt.Sprintf("probe-%d", i))
+		stats, err := probe.Stats()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, hasCache := stats["cache"]; hasCache {
+			t.Errorf("unknown session %d got a cache block: %v", i, stats)
+		}
+		if err := probe.Reset(); err != nil {
+			t.Fatalf("reset of unknown session should be a 204 no-op: %v", err)
+		}
+	}
+	if srv.Sessions() != 1 || srv.Evicted() != 0 {
+		t.Errorf("sessions = %d evicted = %d after probes, want 1 and 0",
+			srv.Sessions(), srv.Evicted())
+	}
+	// The analyst's session survived and still has its history.
+	if _, _, err := a.Tile(tile.Coord{}.Child(tile.NW)); err != nil {
+		t.Fatalf("analyst session was disturbed: %v", err)
 	}
 }

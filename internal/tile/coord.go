@@ -63,6 +63,18 @@ type Coord struct {
 // String renders the coordinate as "L{level}/{y}/{x}".
 func (c Coord) String() string { return fmt.Sprintf("L%d/%d/%d", c.Level, c.Y, c.X) }
 
+// Less orders coordinates by (level, y, x): the deterministic tiebreak used
+// wherever equal-scored tiles must sort stably.
+func (c Coord) Less(o Coord) bool {
+	if c.Level != o.Level {
+		return c.Level < o.Level
+	}
+	if c.Y != o.Y {
+		return c.Y < o.Y
+	}
+	return c.X < o.X
+}
+
 // Pan returns the coordinate dy rows down and dx columns right at the same
 // zoom level. Callers validate bounds against a Pyramid.
 func (c Coord) Pan(dy, dx int) Coord { return Coord{Level: c.Level, Y: c.Y + dy, X: c.X + dx} }
