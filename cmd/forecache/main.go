@@ -64,7 +64,8 @@ subcommands:
   build     -seed -size -tile -out        build the world, persist arrays
   tracegen  -seed -size -tile -out        simulate the study, save traces
   serve     -seed -size -tile -addr -k [-async] [-prefetch-workers]
-            [-prefetch-queue] [-shared-tiles] [-max-sessions] [-session-ttl]
+            [-prefetch-queue] [-global-queue] [-decay-half-life]
+            [-adaptive-k] [-shared-tiles] [-max-sessions] [-session-ttl]
                                           run the HTTP middleware
   explore   -seed -size -tile -moves     walk a move script, print tiles
   render    -seed -size -tile -level -out render a zoom level to PNG
@@ -150,6 +151,9 @@ func cmdServe(args []string) error {
 	async := fs.Bool("async", true, "prefetch through the shared asynchronous scheduler")
 	workers := fs.Int("prefetch-workers", 4, "scheduler worker pool size (concurrent DBMS fetches)")
 	queue := fs.Int("prefetch-queue", 64, "queued prefetch entries per session")
+	globalQueue := fs.Int("global-queue", 1024, "queued prefetch entries across all sessions; lowest-utility entries are shed at saturation (negative = unlimited)")
+	decayHalfLife := fs.Duration("decay-half-life", 2*time.Second, "queue age at which a pending prefetch entry's utility halves (negative disables)")
+	adaptiveK := fs.Bool("adaptive-k", true, "shrink per-session prefetch budget K under scheduler backpressure")
 	sharedTiles := fs.Int("shared-tiles", 512, "cross-session shared tile pool capacity (0 disables)")
 	maxSessions := fs.Int("max-sessions", 1024, "live session cap, LRU-evicted past it (0 = unlimited)")
 	sessionTTL := fs.Duration("session-ttl", 30*time.Minute, "evict sessions idle this long (0 = never)")
@@ -162,18 +166,22 @@ func cmdServe(args []string) error {
 	}
 	traces := ds.SimulateStudy(wf.seed)
 	srv := ds.NewServer(traces, forecache.MiddlewareConfig{
-		K:               *k,
-		AsyncPrefetch:   *async,
-		PrefetchWorkers: *workers,
-		PrefetchQueue:   *queue,
-		SharedTiles:     *sharedTiles,
-		MaxSessions:     *maxSessions,
-		SessionTTL:      *sessionTTL,
+		K:                 *k,
+		AsyncPrefetch:     *async,
+		PrefetchWorkers:   *workers,
+		PrefetchQueue:     *queue,
+		GlobalQueueBudget: *globalQueue,
+		DecayHalfLife:     *decayHalfLife,
+		AdaptiveK:         *adaptiveK,
+		SharedTiles:       *sharedTiles,
+		MaxSessions:       *maxSessions,
+		SessionTTL:        *sessionTTL,
 	})
 	defer srv.Close()
 	mode := "inline prefetch"
 	if *async {
-		mode = fmt.Sprintf("async prefetch: %d workers, queue %d/session", *workers, *queue)
+		mode = fmt.Sprintf("async prefetch: %d workers, queue %d/session, global budget %d, decay half-life %s, adaptive K %v",
+			*workers, *queue, *globalQueue, *decayHalfLife, *adaptiveK)
 	}
 	fmt.Printf("serving tiles on %s (%s; GET /meta, /tile?level=&y=&x=, /stats; POST /reset)\n", *addr, mode)
 	return http.ListenAndServe(*addr, srv)

@@ -23,10 +23,17 @@
 //     worker pool fetches them in confidence order with per-session
 //     fairness, duplicate requests across sessions coalesce into one DBMS
 //     fetch (single-flight), and a session's newer batch cancels its stale
-//     queued entries. NewServer wires one scheduler (plus an optional
-//     cross-session tile pool and bounded session table) across every
-//     session; NewMiddleware keeps the paper's synchronous mode so the
-//     experiments stay deterministic;
+//     queued entries. The scheduler is adaptive: queued entries lose
+//     utility as they age (DecayHalfLife) and by batch position, a global
+//     queue budget (GlobalQueueBudget) sheds the lowest-utility entries
+//     across all sessions at saturation, and a Pressure signal feeds back
+//     into each engine so its prefetch budget K shrinks under load
+//     (AdaptiveK) and recovers as the queue drains. NewServer wires one
+//     scheduler (plus an optional cross-session tile pool and bounded
+//     session table) across every session and trains the phase classifier
+//     and Markov chain exactly once, sharing the immutable artifacts with
+//     every session engine; NewMiddleware keeps the paper's synchronous
+//     mode so the experiments stay deterministic;
 //   - a user-study simulator (internal/study) and the experiment harness
 //     reproducing every table and figure of the paper (internal/eval).
 //

@@ -3,8 +3,11 @@
 // prediction engine and cache — the deployment shape of Figure 5, grown to
 // multi-user scale: every session's predictions flow through one shared
 // asynchronous prefetch scheduler (ranked queues, per-session fairness,
-// cross-session coalescing) over one shared tile pool, so N analysts
-// browsing the same region cost the DBMS far fewer than N fetches.
+// cross-session coalescing, utility decay with a global queue budget and
+// backpressure-driven adaptive K) over one shared tile pool, so N analysts
+// browsing the same region cost the DBMS far fewer than N fetches. The
+// phase classifier and Markov chain are trained once at server build and
+// shared by every session, so joining analysts pay no training cost.
 package main
 
 import (
@@ -25,13 +28,17 @@ func main() {
 		log.Fatal(err)
 	}
 	traces := ds.SimulateStudy(7)
+	const globalQueueBudget = 128 // queued prefetch entries across ALL sessions
 	srv := ds.NewServer(traces, forecache.MiddlewareConfig{
-		K:               5,
-		AsyncPrefetch:   true,             // submit-and-return prefetching
-		PrefetchWorkers: 4,                // concurrent DBMS fetch budget
-		SharedTiles:     256,              // cross-session tile pool
-		MaxSessions:     64,               // LRU session cap
-		SessionTTL:      30 * time.Minute, // idle sessions are evicted
+		K:                 5,
+		AsyncPrefetch:     true, // submit-and-return prefetching
+		PrefetchWorkers:   4,    // concurrent DBMS fetch budget
+		GlobalQueueBudget: globalQueueBudget,
+		DecayHalfLife:     2 * time.Second,  // stale queued predictions lose utility
+		AdaptiveK:         true,             // engines shrink K under backpressure
+		SharedTiles:       256,              // cross-session tile pool
+		MaxSessions:       64,               // LRU session cap
+		SessionTTL:        30 * time.Minute, // idle sessions are evicted
 	})
 	defer srv.Close()
 
@@ -98,8 +105,8 @@ func main() {
 	// same numbers /stats serves under "scheduler").
 	srv.Scheduler().Drain()
 	st := srv.Scheduler().Stats()
-	fmt.Printf("prefetch pipeline: %d queued, %d coalesced, %d cancelled, %d completed\n",
-		st.Queued, st.Coalesced, st.Cancelled, st.Completed)
-	fmt.Printf("mean queue latency %s across %d sessions\n",
-		st.AvgQueueLatency.Round(time.Microsecond), st.Sessions)
+	fmt.Printf("prefetch pipeline: %d queued, %d coalesced, %d cancelled, %d completed, %d shed\n",
+		st.Queued, st.Coalesced, st.Cancelled, st.Completed, st.Shed)
+	fmt.Printf("mean queue latency %s across %d sessions; pressure now %.2f (peak queue %d/%d)\n",
+		st.AvgQueueLatency.Round(time.Microsecond), st.Sessions, st.Pressure, st.PeakPending, globalQueueBudget)
 }

@@ -175,6 +175,23 @@ type MiddlewareConfig struct {
 	PrefetchWorkers int
 	// PrefetchQueue caps queued prefetch entries per session. Default 64.
 	PrefetchQueue int
+	// GlobalQueueBudget caps queued prefetch entries across ALL sessions.
+	// At saturation the scheduler sheds the lowest-utility queued entry
+	// (utility = model confidence decayed by queue age and batch position)
+	// to admit higher-utility newcomers, so one session's stale backlog
+	// cannot crowd out another's fresh predictions. Default 1024; negative
+	// disables the global budget (and the Pressure signal with it).
+	GlobalQueueBudget int
+	// DecayHalfLife is the queue age at which a pending prefetch entry's
+	// utility halves (Khameleon-style diminishing returns): predictions
+	// made for a view the user has already left lose admission-control
+	// fights against fresh ones. Default 2s; negative disables age decay.
+	DecayHalfLife time.Duration
+	// AdaptiveK makes every async session engine respond to scheduler
+	// backpressure: as the global queue saturates (Pressure → 1) engines
+	// shrink their per-request prefetch budget from K down toward 1, and
+	// restore it when the queue drains. Requires AsyncPrefetch.
+	AdaptiveK bool
 	// SharedTiles > 0 wraps the server's DBMS in a cross-session
 	// backend.SharedPool of that many tiles, so popular tiles are fetched
 	// once and reused by every session. Only NewServer honors this.
@@ -208,7 +225,56 @@ func (c MiddlewareConfig) withDefaults() MiddlewareConfig {
 	if c.MaxClassifierRequests <= 0 {
 		c.MaxClassifierRequests = 800
 	}
+	if c.GlobalQueueBudget == 0 {
+		c.GlobalQueueBudget = 1024
+	} else if c.GlobalQueueBudget < 0 {
+		c.GlobalQueueBudget = 0 // unlimited
+	}
+	if c.DecayHalfLife == 0 {
+		c.DecayHalfLife = 2 * time.Second
+	} else if c.DecayHalfLife < 0 {
+		c.DecayHalfLife = 0 // disabled
+	}
 	return c
+}
+
+// trainedModels bundles the immutable artifacts one training pass
+// produces: the Kneser–Ney Markov chain behind the AB recommender and the
+// fitted SVM phase classifier. Both are read-only after training, so one
+// bundle is safely shared by every session engine of a deployment.
+type trainedModels struct {
+	ab  *recommend.AB
+	cls *phase.Classifier
+}
+
+// trainHook, when non-nil, is invoked with "markov" / "classifier" each
+// time the corresponding artifact is actually trained. It is a test seam:
+// the server tests use it to prove that session creation performs zero
+// training (see TestServerTrainsModelsOnce).
+var trainHook func(artifact string)
+
+// trainModels runs the deployment's one training pass over the study
+// traces (Markov chain + phase classifier).
+func (d *Dataset) trainModels(train []*trace.Trace, cfg MiddlewareConfig) (*trainedModels, error) {
+	if trainHook != nil {
+		trainHook("markov")
+	}
+	ab, err := recommend.NewAB(cfg.ABOrder, train)
+	if err != nil {
+		return nil, err
+	}
+	reqs := phase.Requests(train)
+	if len(reqs) > cfg.MaxClassifierRequests {
+		reqs = reqs[:cfg.MaxClassifierRequests]
+	}
+	if trainHook != nil {
+		trainHook("classifier")
+	}
+	cls, err := phase.Train(reqs, phase.TrainConfig{})
+	if err != nil {
+		return nil, fmt.Errorf("forecache: train phase classifier: %w", err)
+	}
+	return &trainedModels{ab: ab, cls: cls}, nil
 }
 
 // NewMiddleware builds the paper's full two-level middleware for one
@@ -220,35 +286,39 @@ func (c MiddlewareConfig) withDefaults() MiddlewareConfig {
 func (d *Dataset) NewMiddleware(train []*trace.Trace, cfg MiddlewareConfig) (*core.Engine, error) {
 	cfg = cfg.withDefaults()
 	db := backend.NewDBMS(d.Pyramid, cfg.Latency, cfg.Clock)
-	return d.assembleEngine(db, train, cfg)
-}
-
-// assembleEngine builds one two-level engine over an existing store, so
-// several sessions can share a DBMS adapter, pool and scheduler.
-func (d *Dataset) assembleEngine(store backend.Store, train []*trace.Trace, cfg MiddlewareConfig, opts ...core.Option) (*core.Engine, error) {
-	ab, err := recommend.NewAB(cfg.ABOrder, train)
+	tm, err := d.trainModels(train, cfg)
 	if err != nil {
 		return nil, err
 	}
+	return d.assembleEngine(db, tm, cfg)
+}
+
+// assembleEngine builds one two-level engine over an existing store and an
+// already-trained model bundle, so several sessions can share a DBMS
+// adapter, pool, scheduler, classifier and Markov chain. Only the cheap
+// per-session state is fresh: the SB recommender (its ROI tracker is
+// mutable), the cache manager and the history window.
+func (d *Dataset) assembleEngine(store backend.Store, tm *trainedModels, cfg MiddlewareConfig, opts ...core.Option) (*core.Engine, error) {
 	sb := recommend.NewSB(d.Pyramid, recommend.WithSignatures(cfg.SBSignatures...))
-	reqs := phase.Requests(train)
-	if len(reqs) > cfg.MaxClassifierRequests {
-		reqs = reqs[:cfg.MaxClassifierRequests]
-	}
-	cls, err := phase.Train(reqs, phase.TrainConfig{})
-	if err != nil {
-		return nil, fmt.Errorf("forecache: train phase classifier: %w", err)
-	}
-	return core.NewEngine(store, cls, core.NewHybridPolicy(ab.Name(), sb.Name()),
-		[]recommend.Model{ab, sb}, core.Config{K: cfg.K, D: cfg.D, HistoryLen: cfg.HistoryLen}, opts...)
+	return core.NewEngine(store, tm.cls, core.NewHybridPolicy(tm.ab.Name(), sb.Name()),
+		[]recommend.Model{tm.ab, sb}, core.Config{K: cfg.K, D: cfg.D, HistoryLen: cfg.HistoryLen}, opts...)
 }
 
 // NewServer wraps the dataset in an HTTP middleware server; each session
-// gets its own freshly assembled engine, but all sessions share one DBMS
-// adapter — optionally behind a cross-session tile pool (SharedTiles) and
-// an asynchronous prefetch scheduler (AsyncPrefetch), the Figure 5
-// deployment grown to multi-user scale. Call Close on the returned server
-// to stop the scheduler's workers.
+// gets its own engine, but all sessions share one DBMS adapter — optionally
+// behind a cross-session tile pool (SharedTiles) and an asynchronous
+// prefetch scheduler (AsyncPrefetch), the Figure 5 deployment grown to
+// multi-user scale. Call Close on the returned server to stop the
+// scheduler's workers.
+//
+// The phase classifier and the AB recommender's Markov chain are trained
+// exactly once, here, and the immutable trained artifacts are shared by
+// every session engine: creating the 2nd..Nth session performs no training
+// and is O(1). (Earlier versions retrained both models per session.) A
+// training failure is reported by the first session request. The scheduler
+// is sized by PrefetchWorkers / PrefetchQueue / GlobalQueueBudget /
+// DecayHalfLife, and AdaptiveK closes the backpressure loop from its
+// Pressure signal back into each engine's prefetch budget.
 func (d *Dataset) NewServer(train []*trace.Trace, cfg MiddlewareConfig) *server.Server {
 	cfg = cfg.withDefaults()
 	meta := server.Meta{
@@ -267,6 +337,8 @@ func (d *Dataset) NewServer(train []*trace.Trace, cfg MiddlewareConfig) *server.
 		sched = prefetch.NewScheduler(store, prefetch.Config{
 			Workers:         cfg.PrefetchWorkers,
 			QueuePerSession: cfg.PrefetchQueue,
+			GlobalQueue:     cfg.GlobalQueueBudget,
+			DecayHalfLife:   cfg.DecayHalfLife,
 		})
 		opts = append(opts, server.WithScheduler(sched))
 	}
@@ -276,12 +348,19 @@ func (d *Dataset) NewServer(train []*trace.Trace, cfg MiddlewareConfig) *server.
 	if cfg.SessionTTL > 0 {
 		opts = append(opts, server.WithSessionTTL(cfg.SessionTTL))
 	}
+	tm, trainErr := d.trainModels(train, cfg)
 	factory := func(session string) (*core.Engine, error) {
+		if trainErr != nil {
+			return nil, trainErr
+		}
 		var engOpts []core.Option
 		if sched != nil {
 			engOpts = append(engOpts, core.WithScheduler(sched, session))
+			if cfg.AdaptiveK {
+				engOpts = append(engOpts, core.WithAdaptiveK())
+			}
 		}
-		return d.assembleEngine(store, train, cfg, engOpts...)
+		return d.assembleEngine(store, tm, cfg, engOpts...)
 	}
 	return server.New(meta, factory, opts...)
 }

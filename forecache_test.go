@@ -1,8 +1,11 @@
 package forecache
 
 import (
+	"encoding/json"
+	"fmt"
 	"net/http/httptest"
 	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -196,5 +199,102 @@ func TestSyncServerFacadeHasNoScheduler(t *testing.T) {
 	defer srv.Close()
 	if srv.Scheduler() != nil {
 		t.Error("synchronous server should not build a scheduler")
+	}
+}
+
+// TestServerTrainsModelsOnce: the phase classifier and the Markov chain are
+// trained exactly once per server, at construction — creating the 2nd..Nth
+// session performs zero training (the counting hook would fire again).
+func TestServerTrainsModelsOnce(t *testing.T) {
+	ds, traces := testWorld(t)
+	var trainings atomic.Int32
+	trainHook = func(string) { trainings.Add(1) }
+	defer func() { trainHook = nil }()
+
+	srv := ds.NewServer(traces, MiddlewareConfig{K: 5, AsyncPrefetch: true})
+	defer srv.Close()
+	afterBuild := trainings.Load()
+	if afterBuild != 2 { // one Markov chain + one classifier
+		t.Fatalf("server construction trained %d artifacts, want 2", afterBuild)
+	}
+
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+	for i := 0; i < 5; i++ {
+		c := client.New(ts.URL, fmt.Sprintf("analyst-%d", i))
+		for _, coord := range []Coord{{}, {Level: 1}} {
+			if _, _, err := c.Tile(coord); err != nil {
+				t.Fatalf("analyst-%d: %v", i, err)
+			}
+		}
+	}
+	if srv.Sessions() != 5 {
+		t.Fatalf("sessions = %d, want 5", srv.Sessions())
+	}
+	if got := trainings.Load(); got != afterBuild {
+		t.Errorf("sessions 1..5 trained %d extra artifacts, want 0 (train once, share everywhere)",
+			got-afterBuild)
+	}
+}
+
+// TestNewMiddlewareStillTrainsPerCall: the synchronous facade keeps its
+// per-call training semantics (the eval harness depends on fresh models).
+func TestNewMiddlewareStillTrainsPerCall(t *testing.T) {
+	ds, traces := testWorld(t)
+	var trainings atomic.Int32
+	trainHook = func(string) { trainings.Add(1) }
+	defer func() { trainHook = nil }()
+	for i := 0; i < 2; i++ {
+		if _, err := ds.NewMiddleware(traces, MiddlewareConfig{K: 3}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := trainings.Load(); got != 4 {
+		t.Errorf("two NewMiddleware calls trained %d artifacts, want 4", got)
+	}
+}
+
+// TestAdaptiveServerFacade wires the whole adaptive stack through the
+// facade: global budget, decay and adaptive K reach the scheduler, and
+// /stats reports the pressure signal.
+func TestAdaptiveServerFacade(t *testing.T) {
+	ds, traces := testWorld(t)
+	srv := ds.NewServer(traces, MiddlewareConfig{
+		K:                 5,
+		AsyncPrefetch:     true,
+		GlobalQueueBudget: 16,
+		DecayHalfLife:     time.Second,
+		AdaptiveK:         true,
+	})
+	defer srv.Close()
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+
+	c := client.New(ts.URL, "alice")
+	for _, coord := range []Coord{{}, {Level: 1}} {
+		if _, _, err := c.Tile(coord); err != nil {
+			t.Fatal(err)
+		}
+	}
+	sched := srv.Scheduler()
+	sched.Drain()
+	if p := sched.Pressure(); p != 0 {
+		t.Errorf("drained pressure = %v, want 0", p)
+	}
+	st := sched.Stats()
+	if st.PeakPending > 16 {
+		t.Errorf("PeakPending = %d, global budget 16 exceeded", st.PeakPending)
+	}
+	resp, err := ts.Client().Get(ts.URL + "/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var out map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := out["pressure"]; !ok {
+		t.Error("/stats missing pressure")
 	}
 }

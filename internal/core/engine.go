@@ -68,15 +68,22 @@ type Response struct {
 	Phase trace.Phase
 	// Prefetched lists the tiles fetched ahead for the next request.
 	Prefetched []tile.Coord
+	// PrefetchBudget is the effective K this request prefetched with: the
+	// configured K, shrunk by scheduler backpressure when the engine runs
+	// with WithAdaptiveK.
+	PrefetchBudget int
 }
 
 // Submitter is the asynchronous prefetch pipeline engines hand ranked
 // candidate batches to (implemented by *prefetch.Scheduler). Submit
 // enqueues a batch and returns immediately; CancelSession drops a
-// session's still-queued entries.
+// session's still-queued entries; Pressure reports the pipeline's global
+// queue saturation in [0, 1] — the backpressure signal WithAdaptiveK
+// engines use to shrink their prefetch budget under load.
 type Submitter interface {
 	Submit(session string, reqs []prefetch.Request) int
 	CancelSession(session string)
+	Pressure() float64
 }
 
 // Option customizes an Engine beyond Config.
@@ -95,6 +102,33 @@ func WithScheduler(s Submitter, session string) Option {
 	}
 }
 
+// WithAdaptiveK makes the engine respond to scheduler backpressure: each
+// request reads the scheduler's Pressure signal and shrinks the prefetch
+// budget from the configured K down toward 1 as the shared queue saturates,
+// restoring it as the queue drains. Only meaningful together with
+// WithScheduler; a synchronous engine always prefetches with the full K.
+func WithAdaptiveK() Option {
+	return func(e *Engine) { e.adaptiveK = true }
+}
+
+// adaptiveBudget maps backpressure to an effective prefetch budget: the
+// full K at zero pressure, linearly down to a single tile at saturation.
+// One tile is always kept — the top prediction stays worth submitting even
+// on a saturated queue, since it may coalesce with another session's fetch.
+func adaptiveBudget(k int, pressure float64) int {
+	if pressure <= 0 || k <= 1 {
+		return k
+	}
+	if pressure > 1 {
+		pressure = 1
+	}
+	eff := k - int(pressure*float64(k-1)+0.5)
+	if eff < 1 {
+		eff = 1
+	}
+	return eff
+}
+
 // Engine is one user session's middleware: prediction engine + cache
 // manager + DBMS adapter (Figure 5). It is safe for concurrent use, though
 // a session's requests are inherently sequential.
@@ -106,6 +140,7 @@ type Engine struct {
 	models     map[string]recommend.Model
 	sched      Submitter // nil => inline synchronous prefetch
 	session    string
+	adaptiveK  bool // shrink K under scheduler backpressure
 
 	mu      sync.Mutex
 	cache   *cache.Manager
@@ -267,13 +302,27 @@ func (e *Engine) Request(c tile.Coord) (*Response, error) {
 
 	// Bottom level: re-evaluate allocations, run the models in parallel,
 	// and prefetch their top-ranked tiles for the next request — inline by
-	// default, or submitted to the shared scheduler in async mode.
+	// default, or submitted to the shared scheduler in async mode. Under
+	// backpressure an adaptive engine spends a smaller budget: queueing the
+	// full K onto a saturated scheduler only creates entries that decay or
+	// get shed before their fetch is issued. Only the submitted batch
+	// shrinks — the cache regions stay sized for the configured K, so
+	// pressure never evicts tiles the scheduler already delivered.
+	k := e.cfg.K
+	if e.adaptiveK && e.sched != nil {
+		k = adaptiveBudget(k, e.sched.Pressure())
+	}
+	resp.PrefetchBudget = k
 	allocs := e.policy.Allocations(resp.Phase, e.cfg.K)
 	e.cache.SetAllocations(allocs)
+	fetchAllocs := allocs
+	if k != e.cfg.K {
+		fetchAllocs = e.policy.Allocations(resp.Phase, k)
+	}
 	if e.sched != nil {
-		resp.Prefetched = e.submitPrefetch(req, allocs)
+		resp.Prefetched = e.submitPrefetch(req, fetchAllocs)
 	} else {
-		resp.Prefetched = e.prefetch(req, allocs)
+		resp.Prefetched = e.prefetch(req, fetchAllocs)
 	}
 	return resp, nil
 }

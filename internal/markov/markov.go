@@ -25,7 +25,10 @@ type Prediction struct {
 }
 
 // Chain is an n-th-order Markov chain with Kneser–Ney smoothing. It must be
-// built with New and trained with Train/Observe before use.
+// built with New and trained with Train/Observe before use. After training
+// finishes, Prob/Predict/Vocab only read the count tables, so a trained
+// chain may be shared across goroutines (train once per deployment, not
+// per session); training itself is not concurrency-safe.
 type Chain struct {
 	order int
 	vocab map[string]bool

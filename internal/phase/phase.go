@@ -116,6 +116,10 @@ func LabelTrace(t *trace.Trace, cfg LabelerConfig) *trace.Trace {
 // features with a multi-class RBF-kernel SVM (paper §4.2.2). A Classifier
 // may be restricted to a subset of the Table 1 features, which is how the
 // per-feature accuracy column of Table 1 is reproduced.
+//
+// A trained Classifier is immutable — Predict and Accuracy only read the
+// fitted SVM — so one instance is safe for concurrent use and is meant to
+// be trained once and shared by every session engine of a deployment.
 type Classifier struct {
 	svm      *svm.Classifier
 	features []int // indices into the full feature vector

@@ -21,6 +21,23 @@
 //     previous batches are cancelled before they reach the DBMS, since the
 //     predictions they came from are stale.
 //
+// On top of the per-session queues sits adaptive, utility-aware admission
+// control (Khameleon-style diminishing returns):
+//
+//   - a queued entry's effective utility is its model confidence discounted
+//     exponentially by how long it has sat in the queue (DecayHalfLife) and
+//     by its rank within its session's batch — a prediction made for a view
+//     the user has already left, or the tail of a long speculative batch, is
+//     worth less than a fresh front-runner;
+//   - GlobalQueue caps the total entries queued across *all* sessions; when
+//     a submission would exceed it, the lowest-utility entry anywhere is
+//     shed to admit a higher-utility newcomer (or the newcomer is rejected
+//     if everything queued outranks it), so stale backlog cannot crowd out
+//     fresh predictions;
+//   - Pressure reports global queue saturation in [0, 1]; engines use it as
+//     a backpressure signal to shrink their prefetch budget K under load
+//     (core.WithAdaptiveK) and restore it when the queue drains.
+//
 // The scheduler is shared by every session of one deployment and composes
 // with backend.SharedPool: the pool deduplicates tiles across time (a tile
 // fetched yesterday is still pooled), the scheduler deduplicates fetches in
@@ -54,6 +71,20 @@ type Config struct {
 	// QueuePerSession caps how many entries one session may have queued;
 	// submissions beyond the cap drop the lowest-scored entries. Default 64.
 	QueuePerSession int
+	// GlobalQueue caps the total entries queued across all sessions. When a
+	// submission would exceed it, admission control sheds the queued entry
+	// with the lowest decayed utility — whichever session owns it — to make
+	// room, or rejects the incoming entry if everything queued outranks it.
+	// 0 means unlimited (and Pressure always reports 0).
+	GlobalQueue int
+	// DecayHalfLife is the queue age at which an entry's utility halves.
+	// Stale entries therefore lose admission-control fights against fresh
+	// ones of equal model confidence. 0 disables age decay.
+	DecayHalfLife time.Duration
+
+	// clock overrides time.Now; scheduler tests inject a deterministic
+	// clock so decay is testable without sleeps.
+	clock func() time.Time
 }
 
 // DefaultConfig returns the default scheduler sizing.
@@ -67,6 +98,9 @@ func (c Config) withDefaults() Config {
 	if c.QueuePerSession <= 0 {
 		c.QueuePerSession = d.QueuePerSession
 	}
+	if c.clock == nil {
+		c.clock = time.Now
+	}
 	return c
 }
 
@@ -74,8 +108,13 @@ func (c Config) withDefaults() Config {
 type Stats struct {
 	// Queued counts entries accepted into the queue.
 	Queued int
-	// Dropped counts entries rejected by the per-session queue budget.
+	// Dropped counts entries rejected at submission: over the per-session
+	// queue budget, or refused by global admission control because every
+	// queued entry had higher utility.
 	Dropped int
+	// Shed counts queued entries evicted by global admission control to
+	// make room for higher-utility submissions.
+	Shed int
 	// Cancelled counts queued entries superseded by a newer batch (or a
 	// session eviction) before their fetch was issued.
 	Cancelled int
@@ -88,10 +127,18 @@ type Stats struct {
 	Errors int
 	// Pending is the number of entries queued right now.
 	Pending int
+	// PeakPending is the high-water mark of Pending: with a global budget
+	// configured it never exceeds Config.GlobalQueue.
+	PeakPending int
 	// Inflight is the number of DBMS fetches running right now.
 	Inflight int
 	// Sessions is the number of sessions with scheduler state.
 	Sessions int
+	// Pressure is the current global queue saturation in [0, 1] (always 0
+	// without a global budget); see Scheduler.Pressure.
+	Pressure float64
+	// QueueDepths maps each tracked session to its live queued entry count.
+	QueueDepths map[string]int
 	// AvgQueueLatency is the mean time entries spent queued before their
 	// fetch was issued (or joined).
 	AvgQueueLatency time.Duration

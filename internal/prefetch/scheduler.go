@@ -105,11 +105,15 @@ func NewScheduler(store backend.Store, cfg Config) *Scheduler {
 
 // Submit replaces session's pending batch with reqs: entries still queued
 // from earlier batches are cancelled (their predictions are stale), then
-// reqs are enqueued in score order subject to the per-session budget. It
-// returns the number of entries accepted. Fetches already in flight are not
-// interrupted. Safe to call concurrently; a no-op after Close.
+// reqs are enqueued in score order subject to the per-session budget and
+// the global one. When the global budget is saturated, each admission sheds
+// the lowest-utility queued entry across all sessions (utility = score
+// decayed by queue age and batch position), or rejects the newcomer if
+// everything queued outranks it. Returns the number of entries accepted.
+// Fetches already in flight are not interrupted. Safe to call concurrently;
+// a no-op after Close.
 func (s *Scheduler) Submit(session string, reqs []Request) int {
-	now := time.Now()
+	now := s.cfg.clock()
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.closed {
@@ -132,6 +136,7 @@ func (s *Scheduler) Submit(session string, reqs []Request) int {
 	sort.SliceStable(order, func(a, b int) bool {
 		return reqs[order[a]].Score > reqs[order[b]].Score
 	})
+	var shed *shedHeap // built lazily on the first saturated admission
 	accepted, enqueued := 0, 0
 	for _, i := range order {
 		// A fetch for this tile is already in flight (another session's,
@@ -149,10 +154,29 @@ func (s *Scheduler) Submit(session string, reqs []Request) int {
 			s.stats.Dropped++
 			continue
 		}
+		if s.cfg.GlobalQueue > 0 && s.stats.Pending >= s.cfg.GlobalQueue {
+			if shed == nil {
+				shed = s.buildShedHeapLocked(now)
+			}
+			u := decayedUtility(reqs[i].Score, 0, s.cfg.DecayHalfLife, sq.queued)
+			if !s.shedLowestBelowLocked(shed, u) {
+				s.stats.Dropped++
+				continue
+			}
+		}
 		s.seq++
 		e := &entry{req: reqs[i], session: session, seq: s.seq, enqueued: now}
 		heap.Push(&sq.pending, e)
 		sq.queued++
+		s.stats.Pending++
+		if s.stats.Pending > s.stats.PeakPending {
+			s.stats.PeakPending = s.stats.Pending
+		}
+		if shed != nil {
+			// This batch's own entries compete too: a tiny global budget
+			// must keep only the batch's best.
+			heap.Push(shed, shedCand{e: e, util: decayedUtility(e.req.Score, 0, s.cfg.DecayHalfLife, sq.queued-1)})
+		}
 		set := s.byCoord[e.req.Coord]
 		if set == nil {
 			set = make(map[*entry]struct{})
@@ -163,7 +187,6 @@ func (s *Scheduler) Submit(session string, reqs []Request) int {
 		enqueued++
 	}
 	s.stats.Queued += accepted
-	s.stats.Pending += enqueued
 	if enqueued > 0 {
 		if !sq.inRing {
 			sq.inRing = true
@@ -242,13 +265,19 @@ func (s *Scheduler) Close() {
 	s.mu.Unlock()
 }
 
-// Stats snapshots the scheduler counters.
+// Stats snapshots the scheduler counters. The snapshot is internally
+// consistent: every field is read under one hold of the scheduler lock.
 func (s *Scheduler) Stats() Stats {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	st := s.stats
 	st.Inflight = len(s.inflight)
 	st.Sessions = len(s.sessions)
+	st.Pressure = s.pressureLocked()
+	st.QueueDepths = make(map[string]int, len(s.sessions))
+	for id, sq := range s.sessions {
+		st.QueueDepths[id] = sq.queued
+	}
 	if s.measured > 0 {
 		st.AvgQueueLatency = s.queueLatency / time.Duration(s.measured)
 	}
@@ -340,7 +369,7 @@ func (s *Scheduler) worker() {
 			s.mu.Unlock()
 			return
 		}
-		now := time.Now()
+		now := s.cfg.clock()
 		s.accountLatencyLocked(e, now)
 		s.stats.Pending--
 		coord := e.req.Coord

@@ -1,0 +1,144 @@
+package prefetch
+
+import (
+	"container/heap"
+	"math"
+	"sort"
+	"time"
+)
+
+// positionBase is the per-position diminishing-returns factor: the entry
+// ranked r within its session's batch keeps positionBase^r of its score.
+// The front-runner of a short batch therefore outranks the speculative tail
+// of a long one at equal model confidence (Khameleon's insight that a
+// prefetch plan's later items are progressively less likely to be consumed
+// before the user moves again).
+const positionBase = 0.85
+
+// decayedUtility is the admission-control currency: score discounted
+// exponentially by queue age (halving every halfLife) and by the entry's
+// rank pos within its session. Scores may be negative (the SB recommender
+// ranks by negated distance), so the discount always pushes utility
+// downward: positive scores shrink toward zero, negative scores grow more
+// negative.
+func decayedUtility(score float64, age, halfLife time.Duration, pos int) float64 {
+	f := 1.0
+	if halfLife > 0 && age > 0 {
+		f = math.Exp2(-float64(age) / float64(halfLife))
+	}
+	if pos > 0 {
+		f *= math.Pow(positionBase, float64(pos))
+	}
+	if score < 0 {
+		return score / f
+	}
+	return score * f
+}
+
+// shedCand pairs a live queued entry with its utility, frozen at the moment
+// the shed queue was built (one Submit holds the scheduler lock throughout,
+// so relative order cannot drift mid-batch).
+type shedCand struct {
+	e    *entry
+	util float64
+}
+
+// shedHeap is a min-heap over utility: the root is the entry global
+// admission control evicts first. Ties shed the oldest entry (then the
+// earliest submitted) so churn is deterministic.
+type shedHeap []shedCand
+
+func (h shedHeap) Len() int { return len(h) }
+func (h shedHeap) Less(i, j int) bool {
+	if h[i].util != h[j].util {
+		return h[i].util < h[j].util
+	}
+	if !h[i].e.enqueued.Equal(h[j].e.enqueued) {
+		return h[i].e.enqueued.Before(h[j].e.enqueued)
+	}
+	return h[i].e.seq < h[j].e.seq
+}
+func (h shedHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *shedHeap) Push(x any)   { *h = append(*h, x.(shedCand)) }
+func (h *shedHeap) Pop() any {
+	old := *h
+	n := len(old)
+	c := old[n-1]
+	old[n-1] = shedCand{}
+	*h = old[:n-1]
+	return c
+}
+
+// buildShedHeapLocked snapshots every live queued entry with its decayed
+// utility at now. Within each session, entries are ranked by score (the
+// dispatch order) to assign the position-decay exponent.
+func (s *Scheduler) buildShedHeapLocked(now time.Time) *shedHeap {
+	h := make(shedHeap, 0, s.stats.Pending)
+	for _, sq := range s.sessions {
+		live := make([]*entry, 0, sq.queued)
+		for _, e := range sq.pending {
+			if e.state == stateQueued {
+				live = append(live, e)
+			}
+		}
+		sort.Slice(live, func(a, b int) bool {
+			if live[a].req.Score != live[b].req.Score {
+				return live[a].req.Score > live[b].req.Score
+			}
+			return live[a].seq < live[b].seq
+		})
+		for pos, e := range live {
+			h = append(h, shedCand{
+				e:    e,
+				util: decayedUtility(e.req.Score, now.Sub(e.enqueued), s.cfg.DecayHalfLife, pos),
+			})
+		}
+	}
+	heap.Init(&h)
+	return &h
+}
+
+// shedLowestBelowLocked evicts the lowest-utility queued entry if its
+// utility is strictly below u, reporting whether a slot was freed. Keeping
+// the incumbent on ties avoids churn when nothing has actually decayed.
+func (s *Scheduler) shedLowestBelowLocked(h *shedHeap, u float64) bool {
+	for h.Len() > 0 {
+		if (*h)[0].e.state != stateQueued { // already popped or superseded
+			heap.Pop(h)
+			continue
+		}
+		if (*h)[0].util >= u {
+			return false
+		}
+		victim := heap.Pop(h).(shedCand).e
+		victim.state = stateDone
+		s.detachLocked(victim)
+		s.sessions[victim.session].queued--
+		s.stats.Shed++
+		s.stats.Pending--
+		return true
+	}
+	return false
+}
+
+// Pressure reports the global queue's saturation in [0, 1]: how full the
+// GlobalQueue budget is right now. It is the scheduler→engine backpressure
+// signal: engines built with core.WithAdaptiveK shrink their prefetch
+// budget K as pressure rises and restore it when the queue drains. Without
+// a global budget the signal is always 0.
+func (s *Scheduler) Pressure() float64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.pressureLocked()
+}
+
+func (s *Scheduler) pressureLocked() float64 {
+	if s.cfg.GlobalQueue <= 0 {
+		return 0
+	}
+	p := float64(s.stats.Pending) / float64(s.cfg.GlobalQueue)
+	if p > 1 {
+		p = 1
+	}
+	return p
+}

@@ -9,6 +9,11 @@ import (
 // chain over the user's past moves, trained on study traces with
 // Kneser–Ney smoothing. It scores each candidate by the smoothed
 // probability of the first move of its chain given the session history.
+//
+// Once trained, an AB is immutable: Observe and Reset are no-ops (session
+// context comes from the history window passed to Predict) and Predict only
+// reads the chain. One instance is therefore safe for concurrent use by any
+// number of session engines — train once, share everywhere.
 type AB struct {
 	chain *markov.Chain
 }
@@ -27,6 +32,14 @@ func NewAB(order int, traces []*trace.Trace) (*AB, error) {
 	chain.Train(seqs)
 	return &AB{chain: chain}, nil
 }
+
+// NewABFromChain wraps an already-trained chain: the shared-model route for
+// deployments that train one chain and hand it to every session.
+func NewABFromChain(chain *markov.Chain) *AB { return &AB{chain: chain} }
+
+// Chain exposes the trained Markov chain (read-only by convention): callers
+// share it across recommenders instead of retraining per session.
+func (m *AB) Chain() *markov.Chain { return m.chain }
 
 // Name identifies the model, including its order (e.g. "markov3").
 func (m *AB) Name() string { return "markov" + itoa(m.chain.Order()) }

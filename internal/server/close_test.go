@@ -1,0 +1,160 @@
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sync"
+	"testing"
+)
+
+// TestStatsCloseRace hammers /stats and /tile from many goroutines while
+// Close tears the server down mid-flight (run with -race). Every request
+// must complete — 200 for /stats, 200 or 503 for /tile — with no panic and
+// no torn snapshot, and after Close the server still answers /stats with
+// its server-wide fields.
+func TestStatsCloseRace(t *testing.T) {
+	srv, ts, sched := asyncTestServer(t)
+
+	// Seed a few live sessions so Close has engines to detach and queued
+	// prefetches to cancel.
+	for _, id := range []string{"a", "b", "c"} {
+		resp, err := ts.Client().Get(ts.URL + "/tile?level=0&y=0&x=0&session=" + id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+	}
+
+	start := make(chan struct{})
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			<-start
+			for i := 0; i < 40; i++ {
+				if g%2 == 0 {
+					resp, err := ts.Client().Get(ts.URL + "/stats?session=a")
+					if err != nil {
+						t.Errorf("stats: %v", err)
+						return
+					}
+					var out map[string]any
+					if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+						t.Errorf("stats decode: %v", err)
+					}
+					resp.Body.Close()
+					if resp.StatusCode != http.StatusOK {
+						t.Errorf("stats status = %d", resp.StatusCode)
+					}
+				} else {
+					// Alternate a legal zoom-in/zoom-out walk per goroutine
+					// session so 400s can only mean a real protocol bug.
+					url := ts.URL + fmt.Sprintf("/tile?level=%d&y=0&x=0&session=walker-%d", i%2, g)
+					resp, err := ts.Client().Get(url)
+					if err != nil {
+						t.Errorf("tile: %v", err)
+						return
+					}
+					resp.Body.Close()
+					if resp.StatusCode != http.StatusOK && resp.StatusCode != http.StatusServiceUnavailable {
+						t.Errorf("tile status = %d, want 200 or 503", resp.StatusCode)
+					}
+				}
+			}
+		}(g)
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		<-start
+		srv.Close()
+	}()
+	close(start)
+	wg.Wait()
+
+	// Post-Close: /tile refuses with 503, /stats still answers consistently.
+	resp, err := ts.Client().Get(ts.URL + "/tile?level=0&y=0&x=0&session=late")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Errorf("post-close tile status = %d, want 503", resp.StatusCode)
+	}
+	resp, err = ts.Client().Get(ts.URL + "/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out StatsResponse
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if !out.Closed {
+		t.Error("post-close stats should report closed")
+	}
+	if out.Sessions != 0 {
+		t.Errorf("post-close sessions = %d, want 0 (tables torn down)", out.Sessions)
+	}
+	if st := sched.Stats(); st.Pending != 0 {
+		t.Errorf("scheduler pending = %d after Close, want 0", st.Pending)
+	}
+}
+
+// TestCloseDetachesEngines: sessions evicted by Close fall back to inline
+// mode, so a scheduler delivery racing the shutdown cannot repopulate them,
+// and their queued prefetches are cancelled.
+func TestCloseDetachesEngines(t *testing.T) {
+	srv, ts, sched := asyncTestServer(t)
+	resp, err := ts.Client().Get(ts.URL + "/tile?level=0&y=0&x=0&session=a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	srv.Close()
+	if st := sched.Stats(); st.Sessions != 0 {
+		t.Errorf("scheduler still tracks %d sessions after Close", st.Sessions)
+	}
+	if srv.Sessions() != 0 {
+		t.Errorf("server still tracks %d sessions after Close", srv.Sessions())
+	}
+	srv.Close() // idempotent
+}
+
+// TestStatsExposesPressureAndQueueDepths: the adaptive pipeline's
+// backpressure telemetry reaches /stats.
+func TestStatsExposesPressureAndQueueDepths(t *testing.T) {
+	_, ts, sched := asyncTestServer(t)
+	resp, err := ts.Client().Get(ts.URL + "/tile?level=0&y=0&x=0&session=a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	sched.Drain()
+
+	resp, err = ts.Client().Get(ts.URL + "/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if _, ok := out["pressure"]; !ok {
+		t.Error("stats missing pressure field")
+	}
+	schedBlock, ok := out["scheduler"].(map[string]any)
+	if !ok {
+		t.Fatalf("stats = %v, want scheduler block", out)
+	}
+	depths, ok := schedBlock["QueueDepths"].(map[string]any)
+	if !ok {
+		t.Fatalf("scheduler stats = %v, want QueueDepths", schedBlock)
+	}
+	if _, ok := depths["a"]; !ok {
+		t.Errorf("QueueDepths = %v, want session a tracked", depths)
+	}
+}

@@ -1,0 +1,55 @@
+package server
+
+import (
+	"net/url"
+	"strconv"
+	"testing"
+)
+
+// FuzzCoordFromQuery drives the tile-endpoint coordinate parser with
+// arbitrary query strings. Run continuously with:
+//
+//	go test ./internal/server -run '^$' -fuzz '^FuzzCoordFromQuery$' -fuzztime 10s
+//
+// Properties checked: no panic on any input; success implies all three
+// parameters were present and round-trip exactly through strconv (the
+// parser must never invent or truncate a coordinate).
+func FuzzCoordFromQuery(f *testing.F) {
+	seeds := []string{
+		"level=1&y=2&x=3",
+		"level=0&y=0&x=0",
+		"x=3&level=1&y=2",                    // order independence
+		"level=1&y=2",                        // missing x
+		"level=&y=2&x=3",                     // empty value
+		"level=one&y=2&x=3",                  // non-numeric
+		"level=+5&y=-2&x=07",                 // Atoi quirks: sign prefixes, leading zero
+		"level=99999999999999999999&y=0&x=0", // overflow
+		"level=1&level=2&y=0&x=0",            // duplicate key: Get takes the first
+		"level=1%00&y=0&x=0",                 // encoded NUL
+		"level=1&y=0&x=0&session=a",          // extra params ignored
+		"%zz",                                // invalid escape: ParseQuery fails
+		"",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, raw string) {
+		q, err := url.ParseQuery(raw)
+		if err != nil {
+			return // not a parseable query: the mux never hands us one
+		}
+		c, err := coordFromQuery(q)
+		if err != nil {
+			return
+		}
+		for name, got := range map[string]int{"level": c.Level, "y": c.Y, "x": c.X} {
+			want, err := strconv.Atoi(q.Get(name))
+			if err != nil {
+				t.Fatalf("coordFromQuery accepted %q=%q which strconv rejects: %v", name, q.Get(name), err)
+			}
+			if got != want {
+				t.Fatalf("coordFromQuery %q = %d, strconv says %d (query %q)", name, got, want, raw)
+			}
+		}
+	})
+}

@@ -11,8 +11,10 @@ package server
 import (
 	"container/list"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"net/http"
+	"net/url"
 	"strconv"
 	"sync"
 	"time"
@@ -22,6 +24,9 @@ import (
 	"forecache/internal/prefetch"
 	"forecache/internal/tile"
 )
+
+// ErrClosed is returned for requests that need an engine after Close.
+var ErrClosed = errors.New("server: closed")
 
 // Meta describes the served dataset to clients.
 type Meta struct {
@@ -80,6 +85,7 @@ type Server struct {
 	sessions map[string]*session
 	recency  *list.List // of *session, front = most recently used
 	evicted  int
+	closed   bool
 }
 
 // New builds a server for a pyramid-backed middleware.
@@ -105,23 +111,53 @@ func New(meta Meta, factory EngineFactory, opts ...Option) *Server {
 // ServeHTTP implements http.Handler.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
 
-// Close releases server resources: the shared scheduler, if any, is shut
-// down after cancelling all queued prefetches.
+// Close releases server resources. It is idempotent and safe to call
+// concurrently with in-flight requests: the session tables are torn down
+// under the server lock (later tile requests get ErrClosed / 503 and
+// /stats keeps answering with server-wide telemetry), every engine is
+// detached so pending deliveries are dropped, and finally the shared
+// scheduler, if any, is shut down after cancelling all queued prefetches.
 func (s *Server) Close() {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		if s.sched != nil {
+			s.sched.Close() // idempotent; lets double-Close still stop workers
+		}
+		return
+	}
+	s.closed = true
+	closing := make([]*session, 0, len(s.sessions))
+	for _, sess := range s.sessions {
+		closing = append(closing, sess)
+	}
+	s.sessions = make(map[string]*session)
+	s.recency.Init()
+	s.mu.Unlock()
+	s.releaseSessions(closing)
 	if s.sched != nil {
 		s.sched.Close()
 	}
+}
+
+// sessionID extracts the request's session id ("default" when absent).
+func sessionID(r *http.Request) string {
+	if id := r.URL.Query().Get("session"); id != "" {
+		return id
+	}
+	return "default"
 }
 
 // session returns (creating on demand) the engine for the request's
 // session id; the id defaults to "default" so single-user tools need no
 // bookkeeping. Expired and over-cap sessions are evicted here, on access.
 func (s *Server) session(r *http.Request) (*core.Engine, error) {
-	id := r.URL.Query().Get("session")
-	if id == "" {
-		id = "default"
-	}
+	id := sessionID(r)
 	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil, ErrClosed
+	}
 	now := s.now()
 	evicted := s.sweepLocked(now)
 	if sess, ok := s.sessions[id]; ok {
@@ -143,6 +179,13 @@ func (s *Server) session(r *http.Request) (*core.Engine, error) {
 	}
 
 	s.mu.Lock()
+	if s.closed {
+		// Close won the race while the engine was being built: discard it
+		// before it can register with the (stopping) scheduler.
+		s.mu.Unlock()
+		eng.DetachScheduler()
+		return nil, ErrClosed
+	}
 	if sess, ok := s.sessions[id]; ok {
 		// A concurrent request created this session first; use its engine
 		// and discard ours (it never submitted anything to the scheduler).
@@ -169,13 +212,9 @@ func (s *Server) session(r *http.Request) (*core.Engine, error) {
 // a factory run, and at the session cap must not evict a live analyst's
 // session, just because a probe named an unknown id.
 func (s *Server) peekSession(r *http.Request) (*core.Engine, bool) {
-	id := r.URL.Query().Get("session")
-	if id == "" {
-		id = "default"
-	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	sess, ok := s.sessions[id]
+	sess, ok := s.sessions[sessionID(r)]
 	if !ok {
 		return nil, false
 	}
@@ -249,10 +288,14 @@ func (s *Server) handleMeta(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleTile(w http.ResponseWriter, r *http.Request) {
 	eng, err := s.session(r)
 	if err != nil {
-		httpError(w, http.StatusInternalServerError, err)
+		status := http.StatusInternalServerError
+		if errors.Is(err, ErrClosed) {
+			status = http.StatusServiceUnavailable
+		}
+		httpError(w, status, err)
 		return
 	}
-	c, err := coordFromQuery(r)
+	c, err := coordFromQuery(r.URL.Query())
 	if err != nil {
 		httpError(w, http.StatusBadRequest, err)
 		return
@@ -275,24 +318,39 @@ func (s *Server) handleTile(w http.ResponseWriter, r *http.Request) {
 
 // StatsResponse is the /stats payload: the session's cache counters (when
 // the session exists) plus server-wide session and prefetch-pipeline
-// telemetry. Asking for an unknown session returns the server-wide fields
-// only — it does not create a session.
+// telemetry — including the scheduler's backpressure signal and per-session
+// queue depths (Scheduler.QueueDepths). Asking for an unknown session
+// returns the server-wide fields only — it does not create a session.
 type StatsResponse struct {
 	Cache     *cache.Stats    `json:"cache,omitempty"`
 	Sessions  int             `json:"sessions"`
 	Evicted   int             `json:"evicted"`
+	Closed    bool            `json:"closed,omitempty"`
+	Pressure  float64         `json:"pressure"`
 	Scheduler *prefetch.Stats `json:"scheduler,omitempty"`
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
-	out := StatsResponse{Sessions: s.Sessions(), Evicted: s.Evicted()}
-	if eng, ok := s.peekSession(r); ok {
+	// Snapshot the server-side fields under one hold of the server lock
+	// (reading them via Sessions()/Evicted() would let a concurrent Close
+	// or eviction slip between the reads), then the scheduler counters
+	// under one hold of the scheduler lock. /stats stays answerable during
+	// and after Close — it reports the torn-down state instead of racing it.
+	s.mu.Lock()
+	out := StatsResponse{Sessions: len(s.sessions), Evicted: s.evicted, Closed: s.closed}
+	var eng *core.Engine
+	if sess, ok := s.sessions[sessionID(r)]; ok {
+		eng = sess.eng
+	}
+	s.mu.Unlock()
+	if eng != nil {
 		cs := eng.CacheStats()
 		out.Cache = &cs
 	}
 	if s.sched != nil {
 		st := s.sched.Stats()
 		out.Scheduler = &st
+		out.Pressure = st.Pressure
 	}
 	writeJSON(w, http.StatusOK, out)
 }
@@ -306,8 +364,10 @@ func (s *Server) handleReset(w http.ResponseWriter, r *http.Request) {
 	w.WriteHeader(http.StatusNoContent)
 }
 
-func coordFromQuery(r *http.Request) (tile.Coord, error) {
-	q := r.URL.Query()
+// coordFromQuery parses a tile coordinate from ?level=&y=&x=. It takes the
+// parsed query values (rather than the request) so the fuzz suite can drive
+// it with arbitrary inputs.
+func coordFromQuery(q url.Values) (tile.Coord, error) {
 	var c tile.Coord
 	for _, f := range []struct {
 		name string

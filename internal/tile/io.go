@@ -29,10 +29,20 @@ import (
 const (
 	pyramidMagic   = "FCPY"
 	pyramidVersion = 1
+	// maxTileSize bounds the per-side cell count the binary format carries.
+	// The writer and reader enforce it symmetrically: anything WritePyramid
+	// accepts, ReadPyramid reads back, and a header beyond the bound is
+	// corruption, not data.
+	maxTileSize = 1024
 )
 
-// WritePyramid streams the pyramid in binary form.
+// WritePyramid streams the pyramid in binary form. Pyramids beyond the
+// format's bounds (tile side over maxTileSize) are rejected up front so a
+// written file is always readable back.
 func WritePyramid(w io.Writer, p *Pyramid) (int64, error) {
+	if p.TileSize() <= 0 || p.TileSize() > maxTileSize {
+		return 0, fmt.Errorf("tile: tile size %d outside the format's (0, %d] bound", p.TileSize(), maxTileSize)
+	}
 	bw := bufio.NewWriterSize(w, 1<<20)
 	var n int64
 	count := func(err error, written int) error {
@@ -195,7 +205,12 @@ func ReadPyramid(r io.Reader) (*Pyramid, error) {
 	if err != nil {
 		return nil, err
 	}
-	if tileSize == 0 || levels == 0 || levels > 24 {
+	// Sanity bounds keep a corrupt or adversarial header (this format is
+	// read from disk) from driving huge allocations before the first data
+	// read fails: maxTileSize cells per side is far above any real tiling
+	// (and the writer enforces the same bound), and 24 levels is a
+	// 16-million-tile side length.
+	if tileSize == 0 || tileSize > maxTileSize || levels == 0 || levels > 24 {
 		return nil, fmt.Errorf("tile: corrupt header (size %d, levels %d)", tileSize, levels)
 	}
 	nattrs, err := readU32()
@@ -215,11 +230,24 @@ func ReadPyramid(r io.Reader) (*Pyramid, error) {
 	if err != nil {
 		return nil, err
 	}
+	// A complete pyramid of L levels holds (4^L - 1) / 3 tiles; anything
+	// larger is corrupt. Cap the map preallocation independently: ntiles is
+	// attacker-controlled, the actual entries are gated by data reads.
+	maxTiles := uint64(0)
+	for l := uint32(0); l < levels; l++ {
+		maxTiles += 1 << (2 * l)
+	}
+	if uint64(ntiles) > maxTiles {
+		return nil, fmt.Errorf("tile: corrupt tile count %d for %d levels", ntiles, levels)
+	}
+	// Cap in uint64 before converting: on 32-bit platforms int(ntiles) can
+	// go negative, and make(map, n) panics on negative hints.
+	hint := int(min(uint64(ntiles), 1<<16))
 	p := &Pyramid{
 		params: Params{TileSize: int(tileSize), Agg: array.AggAvg},
 		attrs:  attrs,
 		levels: make([]*array.Array, levels),
-		tiles:  make(map[Coord]*Tile, ntiles),
+		tiles:  make(map[Coord]*Tile, hint),
 	}
 	cells := int(tileSize) * int(tileSize)
 	for i := uint32(0); i < ntiles; i++ {
