@@ -65,7 +65,8 @@ subcommands:
   tracegen  -seed -size -tile -out        simulate the study, save traces
   serve     -seed -size -tile -addr -k [-async] [-prefetch-workers]
             [-prefetch-queue] [-global-queue] [-decay-half-life]
-            [-adaptive-k] [-shared-tiles] [-max-sessions] [-session-ttl]
+            [-adaptive-k] [-fair-share] [-utility-learning] [-metrics]
+            [-shared-tiles] [-max-sessions] [-session-ttl]
                                           run the HTTP middleware
   explore   -seed -size -tile -moves     walk a move script, print tiles
   render    -seed -size -tile -level -out render a zoom level to PNG
@@ -154,6 +155,9 @@ func cmdServe(args []string) error {
 	globalQueue := fs.Int("global-queue", 1024, "queued prefetch entries across all sessions; lowest-utility entries are shed at saturation (negative = unlimited)")
 	decayHalfLife := fs.Duration("decay-half-life", 2*time.Second, "queue age at which a pending prefetch entry's utility halves (negative disables)")
 	adaptiveK := fs.Bool("adaptive-k", true, "shrink per-session prefetch budget K under scheduler backpressure")
+	fairShare := fs.Bool("fair-share", true, "scope backpressure per session: the flooding session's K shrinks first (requires -adaptive-k)")
+	utilityLearning := fs.Bool("utility-learning", true, "learn the position-utility curve from observed cache outcomes instead of the static 0.85 decay")
+	metrics := fs.Bool("metrics", true, "expose Prometheus text-format telemetry under GET /metrics")
 	sharedTiles := fs.Int("shared-tiles", 512, "cross-session shared tile pool capacity (0 disables)")
 	maxSessions := fs.Int("max-sessions", 1024, "live session cap, LRU-evicted past it (0 = unlimited)")
 	sessionTTL := fs.Duration("session-ttl", 30*time.Minute, "evict sessions idle this long (0 = never)")
@@ -173,6 +177,9 @@ func cmdServe(args []string) error {
 		GlobalQueueBudget: *globalQueue,
 		DecayHalfLife:     *decayHalfLife,
 		AdaptiveK:         *adaptiveK,
+		FairShare:         *fairShare,
+		UtilityLearning:   *utilityLearning,
+		MetricsEndpoint:   *metrics,
 		SharedTiles:       *sharedTiles,
 		MaxSessions:       *maxSessions,
 		SessionTTL:        *sessionTTL,
@@ -180,10 +187,14 @@ func cmdServe(args []string) error {
 	defer srv.Close()
 	mode := "inline prefetch"
 	if *async {
-		mode = fmt.Sprintf("async prefetch: %d workers, queue %d/session, global budget %d, decay half-life %s, adaptive K %v",
-			*workers, *queue, *globalQueue, *decayHalfLife, *adaptiveK)
+		mode = fmt.Sprintf("async prefetch: %d workers, queue %d/session, global budget %d, decay half-life %s, adaptive K %v, fair share %v, utility learning %v",
+			*workers, *queue, *globalQueue, *decayHalfLife, *adaptiveK, *fairShare, *utilityLearning)
 	}
-	fmt.Printf("serving tiles on %s (%s; GET /meta, /tile?level=&y=&x=, /stats; POST /reset)\n", *addr, mode)
+	endpoints := "GET /meta, /tile?level=&y=&x=, /stats"
+	if *metrics {
+		endpoints += ", /metrics"
+	}
+	fmt.Printf("serving tiles on %s (%s; %s; POST /reset)\n", *addr, mode, endpoints)
 	return http.ListenAndServe(*addr, srv)
 }
 

@@ -23,17 +23,28 @@
 //     worker pool fetches them in confidence order with per-session
 //     fairness, duplicate requests across sessions coalesce into one DBMS
 //     fetch (single-flight), and a session's newer batch cancels its stale
-//     queued entries. The scheduler is adaptive: queued entries lose
-//     utility as they age (DecayHalfLife) and by batch position, a global
-//     queue budget (GlobalQueueBudget) sheds the lowest-utility entries
-//     across all sessions at saturation, and a Pressure signal feeds back
-//     into each engine so its prefetch budget K shrinks under load
-//     (AdaptiveK) and recovers as the queue drains. NewServer wires one
-//     scheduler (plus an optional cross-session tile pool and bounded
-//     session table) across every session and trains the phase classifier
-//     and Markov chain exactly once, sharing the immutable artifacts with
-//     every session engine; NewMiddleware keeps the paper's synchronous
-//     mode so the experiments stay deterministic;
+//     queued entries. The scheduler is adaptive and closed-loop: queued
+//     entries lose utility as they age (DecayHalfLife) and by batch
+//     position, a global queue budget (GlobalQueueBudget) sheds the
+//     lowest-utility entries across all sessions at saturation, and a
+//     Pressure signal feeds back into each engine so its prefetch budget K
+//     shrinks under load (AdaptiveK) and recovers as the queue drains —
+//     per session with FairShare, which scales backpressure by how far a
+//     session's queue share exceeds its fair share 1/N so the flooding
+//     session's K collapses first. With UtilityLearning the cache
+//     attributes every prefetched tile's fate (consumed vs evicted
+//     unconsumed) to the model and batch position that prefetched it, and
+//     a shared FeedbackCollector fits the position-utility curve online
+//     from those outcomes (Khameleon-style), replacing the static 0.85
+//     position decay in admission control. NewServer wires one scheduler
+//     (plus an optional cross-session tile pool and bounded session table)
+//     across every session and trains the phase classifier and Markov
+//     chain exactly once, sharing the immutable artifacts with every
+//     session engine; NewMiddleware keeps the paper's synchronous mode so
+//     the experiments stay deterministic. MetricsEndpoint exposes the
+//     whole loop — queue/shed/coalesce counters, global and per-session
+//     backpressure, aggregate cache hit rates, the learned curve — as
+//     dependency-free Prometheus text under GET /metrics;
 //   - a user-study simulator (internal/study) and the experiment harness
 //     reproducing every table and figure of the paper (internal/eval).
 //

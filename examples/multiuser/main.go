@@ -11,9 +11,11 @@
 package main
 
 import (
+	"bufio"
 	"fmt"
 	"log"
 	"net/http/httptest"
+	"strings"
 	"sync"
 	"time"
 
@@ -36,6 +38,9 @@ func main() {
 		GlobalQueueBudget: globalQueueBudget,
 		DecayHalfLife:     2 * time.Second,  // stale queued predictions lose utility
 		AdaptiveK:         true,             // engines shrink K under backpressure
+		FairShare:         true,             // ...the flooding session's K first
+		UtilityLearning:   true,             // fit the position curve from consumption
+		MetricsEndpoint:   true,             // Prometheus text under GET /metrics
 		SharedTiles:       256,              // cross-session tile pool
 		MaxSessions:       64,               // LRU session cap
 		SessionTTL:        30 * time.Minute, // idle sessions are evicted
@@ -109,4 +114,26 @@ func main() {
 		st.Queued, st.Coalesced, st.Cancelled, st.Completed, st.Shed)
 	fmt.Printf("mean queue latency %s across %d sessions; pressure now %.2f (peak queue %d/%d)\n",
 		st.AvgQueueLatency.Round(time.Microsecond), st.Sessions, st.Pressure, st.PeakPending, globalQueueBudget)
+
+	// The closed loop at work: the scheduler's position-utility curve was
+	// fit online from what the analysts actually consumed, and the same
+	// numbers (plus per-session backpressure and cache hit rates) are
+	// scrapeable as Prometheus text from /metrics.
+	fmt.Printf("utility curve (fit from %d cache outcomes):", st.UtilityObservations)
+	for pos, f := range st.UtilityCurve {
+		fmt.Printf(" p%d=%.2f", pos, f)
+	}
+	fmt.Println()
+	if resp, err := ts.Client().Get(ts.URL + "/metrics"); err == nil {
+		defer resp.Body.Close()
+		sc := bufio.NewScanner(resp.Body)
+		shown := 0
+		for sc.Scan() && shown < 3 {
+			line := sc.Text()
+			if strings.HasPrefix(line, "forecache_cache_hit") {
+				fmt.Println("metrics sample:", line)
+				shown++
+			}
+		}
+	}
 }

@@ -51,6 +51,9 @@ type (
 	// PrefetchStats snapshots scheduler activity (queued, coalesced,
 	// cancelled, completed, queue latency, ...).
 	PrefetchStats = prefetch.Stats
+	// FeedbackCollector fits the position-utility curve from observed
+	// cache outcomes (UtilityLearning).
+	FeedbackCollector = prefetch.FeedbackCollector
 )
 
 // Dataset bundles a built world: the array database, the NDSI array, the
@@ -192,6 +195,25 @@ type MiddlewareConfig struct {
 	// shrink their per-request prefetch budget from K down toward 1, and
 	// restore it when the queue drains. Requires AsyncPrefetch.
 	AdaptiveK bool
+	// FairShare scopes AdaptiveK's backpressure per session: each engine
+	// shrinks by how far ITS session's share of the pending queue exceeds
+	// the fair share 1/N, so one flooding session's budget collapses first
+	// while light sessions keep prefetching at full K. Requires AdaptiveK.
+	FairShare bool
+	// UtilityLearning closes the prediction-quality loop: every session's
+	// cache attributes each prefetched tile's fate (consumed vs evicted
+	// unconsumed) to the model and batch position that prefetched it, a
+	// shared FeedbackCollector fits the position-utility curve from those
+	// outcomes online (EWMA hit rate by position), and the scheduler's
+	// admission control discounts queued entries by the learned curve
+	// instead of the static 0.85^position guess. The curve is exported
+	// under /stats and /metrics. Requires AsyncPrefetch.
+	UtilityLearning bool
+	// MetricsEndpoint registers a dependency-free Prometheus text-format
+	// GET /metrics endpoint on the server: scheduler counters, global and
+	// per-session backpressure, aggregate cache hit rates, and the learned
+	// utility curve.
+	MetricsEndpoint bool
 	// SharedTiles > 0 wraps the server's DBMS in a cross-session
 	// backend.SharedPool of that many tiles, so popular tiles are fetched
 	// once and reused by every session. Only NewServer honors this.
@@ -317,8 +339,11 @@ func (d *Dataset) assembleEngine(store backend.Store, tm *trainedModels, cfg Mid
 // and is O(1). (Earlier versions retrained both models per session.) A
 // training failure is reported by the first session request. The scheduler
 // is sized by PrefetchWorkers / PrefetchQueue / GlobalQueueBudget /
-// DecayHalfLife, and AdaptiveK closes the backpressure loop from its
-// Pressure signal back into each engine's prefetch budget.
+// DecayHalfLife; AdaptiveK closes the backpressure loop from its Pressure
+// signal back into each engine's prefetch budget (per-session with
+// FairShare), UtilityLearning closes the prediction-quality loop from
+// cache outcomes back into admission control, and MetricsEndpoint exposes
+// all of it as Prometheus text under GET /metrics.
 func (d *Dataset) NewServer(train []*trace.Trace, cfg MiddlewareConfig) *server.Server {
 	cfg = cfg.withDefaults()
 	meta := server.Meta{
@@ -332,15 +357,23 @@ func (d *Dataset) NewServer(train []*trace.Trace, cfg MiddlewareConfig) *server.
 		store = backend.NewSharedPool(db, cfg.SharedTiles)
 	}
 	var sched *prefetch.Scheduler
+	var fc *prefetch.FeedbackCollector
 	var opts []server.Option
 	if cfg.AsyncPrefetch {
+		if cfg.UtilityLearning {
+			fc = prefetch.NewFeedbackCollector(cfg.K)
+		}
 		sched = prefetch.NewScheduler(store, prefetch.Config{
 			Workers:         cfg.PrefetchWorkers,
 			QueuePerSession: cfg.PrefetchQueue,
 			GlobalQueue:     cfg.GlobalQueueBudget,
 			DecayHalfLife:   cfg.DecayHalfLife,
+			Utility:         fc,
 		})
 		opts = append(opts, server.WithScheduler(sched))
+	}
+	if cfg.MetricsEndpoint {
+		opts = append(opts, server.WithMetrics())
 	}
 	if cfg.MaxSessions > 0 {
 		opts = append(opts, server.WithSessionLimit(cfg.MaxSessions))
@@ -358,6 +391,12 @@ func (d *Dataset) NewServer(train []*trace.Trace, cfg MiddlewareConfig) *server.
 			engOpts = append(engOpts, core.WithScheduler(sched, session))
 			if cfg.AdaptiveK {
 				engOpts = append(engOpts, core.WithAdaptiveK())
+				if cfg.FairShare {
+					engOpts = append(engOpts, core.WithFairShare())
+				}
+			}
+			if fc != nil {
+				engOpts = append(engOpts, core.WithFeedback(fc))
 			}
 		}
 		return d.assembleEngine(store, tm, cfg, engOpts...)

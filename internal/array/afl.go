@@ -60,9 +60,17 @@ type aflNode struct {
 	kids []*aflNode
 }
 
+// maxAFLDepth caps expression nesting. The recursive-descent parser (and
+// the recursive evaluator behind it) consume one stack frame per nesting
+// level, so an adversarial query like strings.Repeat("join(", 1e5)+"A"
+// would otherwise blow the goroutine stack; real pipelines (Query 1 is
+// depth 4) never come close.
+const maxAFLDepth = 128
+
 type aflParser struct {
-	src string
-	pos int
+	src   string
+	pos   int
+	depth int
 }
 
 func (p *aflParser) skipSpace() {
@@ -125,6 +133,11 @@ func (p *aflParser) integer() (int, error) {
 
 // parseExpr parses either an operator call or a bare array name (scan).
 func (p *aflParser) parseExpr() (*aflNode, error) {
+	p.depth++
+	defer func() { p.depth-- }()
+	if p.depth > maxAFLDepth {
+		return nil, fmt.Errorf("expression nested deeper than %d levels at byte %d", maxAFLDepth, p.pos)
+	}
 	id, err := p.ident()
 	if err != nil {
 		return nil, err

@@ -4,6 +4,19 @@
 // predictions (the "allocation strategy", re-evaluated after every
 // request), and a separate LRU region holds the last n tiles the interface
 // actually requested.
+//
+// Lookups are O(1): one coordinate index covers every region (model
+// regions and the LRU), maintained on insert and evict, replacing the
+// per-request scan of every region slice that used to sit on the request
+// hot path.
+//
+// Beyond serving lookups, the manager attributes each prefetched tile's
+// fate to the model region and batch position that prefetched it: a tile
+// consumed by a later request is a hit for its position, a tile evicted
+// without ever being consumed is a miss. These Outcomes are the raw
+// material the prefetch scheduler's learned position-utility curve is fit
+// from (Khameleon fits utility from observed client consumption); the
+// engine drains them per request via TakeOutcomes.
 package cache
 
 import (
@@ -31,19 +44,67 @@ func (s Stats) HitRate() float64 {
 	return float64(s.Hits) / float64(total)
 }
 
+// Outcome is the fate of one prefetched tile, attributed to the model
+// region that held it and the batch position (0 = the model's top-ranked
+// prediction) it was prefetched at. Hit means a request consumed the tile;
+// !Hit means it was evicted without ever being consumed. Re-prefetching a
+// still-unconsumed coordinate refreshes the entry in place and emits no
+// outcome — the old prediction instance goes unjudged and the new one is
+// judged at its own position.
+type Outcome struct {
+	Model    string
+	Position int
+	Hit      bool
+}
+
+// outcomeBufferCap bounds the pending-outcome buffer so an enabled but
+// never-drained manager cannot grow without bound; past the cap the oldest
+// outcomes are dropped (the curve fit is an EWMA, losing ancient samples
+// is harmless).
+const outcomeBufferCap = 4096
+
+// predTile is one model-region slot: the tile plus the attribution needed
+// to turn its fate into an Outcome.
+type predTile struct {
+	t        *tile.Tile
+	pos      int  // batch rank the prefetcher assigned (0 = front-runner)
+	consumed bool // a request already hit this entry
+}
+
+// regionRef names one model region holding a coordinate.
+type regionRef struct {
+	model string
+	pt    *predTile
+}
+
+// coordEntry is the index record for one coordinate: which model regions
+// hold it (several models often agree on the user's next tile) and its LRU
+// element when the interface recently requested it.
+type coordEntry struct {
+	refs   []regionRef
+	recent *list.Element
+}
+
 // Manager is the middleware tile cache. It is safe for concurrent use.
 type Manager struct {
 	mu sync.Mutex
 
 	// model regions: model name -> recently prefetched tiles, capped by the
-	// allocation strategy.
+	// allocation strategy, newest/highest-ranked first.
 	allocs  map[string]int
-	regions map[string][]*tile.Tile
+	regions map[string][]*predTile
+
+	// byCoord is the unified coordinate index over every region; Lookup and
+	// Peek resolve any coordinate with one map access.
+	byCoord map[tile.Coord]*coordEntry
 
 	// LRU region for the interface's last n requested tiles.
 	recentCap int
 	recent    *list.List // of *tile.Tile, front = most recent
-	recentIdx map[tile.Coord]*list.Element
+
+	// prefetch-outcome attribution, drained by TakeOutcomes.
+	trackOutcomes bool
+	outcomes      []Outcome
 
 	stats Stats
 }
@@ -56,10 +117,97 @@ func NewManager(recentCap int) *Manager {
 	}
 	return &Manager{
 		allocs:    make(map[string]int),
-		regions:   make(map[string][]*tile.Tile),
+		regions:   make(map[string][]*predTile),
+		byCoord:   make(map[tile.Coord]*coordEntry),
 		recentCap: recentCap,
 		recent:    list.New(),
-		recentIdx: make(map[tile.Coord]*list.Element),
+	}
+}
+
+// TrackOutcomes enables (or disables) prefetch-outcome attribution. Off by
+// default so deployments without utility learning pay nothing.
+func (m *Manager) TrackOutcomes(on bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.trackOutcomes = on
+	if !on {
+		m.outcomes = nil
+	}
+}
+
+// TakeOutcomes returns and clears the prefetch outcomes accumulated since
+// the last call: hits recorded at consumption, misses at eviction.
+func (m *Manager) TakeOutcomes() []Outcome {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := m.outcomes
+	m.outcomes = nil
+	return out
+}
+
+// recordOutcomeLocked appends one attribution sample, bounding the buffer.
+func (m *Manager) recordOutcomeLocked(o Outcome) {
+	if !m.trackOutcomes {
+		return
+	}
+	if len(m.outcomes) >= outcomeBufferCap {
+		m.outcomes = m.outcomes[1:]
+	}
+	m.outcomes = append(m.outcomes, o)
+}
+
+// entryForLocked returns (creating) the index record for a coordinate.
+func (m *Manager) entryForLocked(c tile.Coord) *coordEntry {
+	e := m.byCoord[c]
+	if e == nil {
+		e = &coordEntry{}
+		m.byCoord[c] = e
+	}
+	return e
+}
+
+// dropIfEmptyLocked removes an index record no region points at anymore.
+func (m *Manager) dropIfEmptyLocked(c tile.Coord, e *coordEntry) {
+	if len(e.refs) == 0 && e.recent == nil {
+		delete(m.byCoord, c)
+	}
+}
+
+// indexAddLocked points the coordinate index at a model-region entry.
+func (m *Manager) indexAddLocked(model string, pt *predTile) {
+	e := m.entryForLocked(pt.t.Coord)
+	for i := range e.refs {
+		if e.refs[i].model == model {
+			e.refs[i].pt = pt
+			return
+		}
+	}
+	e.refs = append(e.refs, regionRef{model: model, pt: pt})
+}
+
+// indexRemoveLocked drops one model-region entry from the coordinate index.
+func (m *Manager) indexRemoveLocked(model string, c tile.Coord) {
+	e := m.byCoord[c]
+	if e == nil {
+		return
+	}
+	for i := range e.refs {
+		if e.refs[i].model == model {
+			e.refs = append(e.refs[:i], e.refs[i+1:]...)
+			break
+		}
+	}
+	m.dropIfEmptyLocked(c, e)
+}
+
+// evictRegionLocked accounts one region entry's eviction: index removal,
+// the Evicted counter, and — for entries never consumed — a miss outcome
+// for the position that prefetched them.
+func (m *Manager) evictRegionLocked(model string, pt *predTile) {
+	m.indexRemoveLocked(model, pt.t.Coord)
+	m.stats.Evicted++
+	if !pt.consumed {
+		m.recordOutcomeLocked(Outcome{Model: model, Position: pt.pos, Hit: false})
 	}
 }
 
@@ -79,12 +227,16 @@ func (m *Manager) SetAllocations(allocs map[string]int) {
 	for name, region := range m.regions {
 		k, ok := m.allocs[name]
 		if !ok {
-			m.stats.Evicted += len(region)
+			for _, pt := range region {
+				m.evictRegionLocked(name, pt)
+			}
 			delete(m.regions, name)
 			continue
 		}
 		if len(region) > k {
-			m.stats.Evicted += len(region) - k
+			for _, pt := range region[k:] {
+				m.evictRegionLocked(name, pt)
+			}
 			m.regions[name] = region[:k]
 		}
 	}
@@ -102,30 +254,61 @@ func (m *Manager) Allocations() map[string]int {
 }
 
 // FillPredictions replaces a model's region with its newest ranked
-// predictions, trimmed to the model's allotment. Tiles beyond the
-// allotment count as evictions. Unknown models get allotment 0.
+// predictions, trimmed to the model's allotment; a tile's slice index is its
+// batch position. Tiles beyond the allotment count as evictions. Unknown
+// models get allotment 0. An old entry re-predicted by the new batch is
+// refreshed rather than judged: no miss outcome is emitted for it, and the
+// new entry is a fresh prediction instance judged at the new position.
 func (m *Manager) FillPredictions(model string, tiles []*tile.Tile) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	k := m.allocs[model]
 	old := m.regions[model]
-	m.stats.Evicted += len(old)
 	if len(tiles) > k {
 		tiles = tiles[:k]
 	}
-	m.regions[model] = append([]*tile.Tile(nil), tiles...)
-	m.stats.Prefetched += len(tiles)
+	incoming := make(map[tile.Coord]bool, len(tiles))
+	for _, t := range tiles {
+		if t != nil {
+			incoming[t.Coord] = true
+		}
+	}
+	for _, pt := range old {
+		// The Evicted counter keeps the paper's accounting (a replaced
+		// region is evicted wholesale), but only entries that truly leave
+		// the cache — not re-predicted coordinates — are judged as misses.
+		m.indexRemoveLocked(model, pt.t.Coord)
+		m.stats.Evicted++
+		if !pt.consumed && !incoming[pt.t.Coord] {
+			m.recordOutcomeLocked(Outcome{Model: model, Position: pt.pos, Hit: false})
+		}
+	}
+	region := make([]*predTile, 0, len(tiles))
+	seen := make(map[tile.Coord]bool, len(tiles))
+	for i, t := range tiles {
+		if t == nil || seen[t.Coord] {
+			continue // keep the index one-entry-per-(coord, model)
+		}
+		seen[t.Coord] = true
+		pt := &predTile{t: t, pos: i}
+		region = append(region, pt)
+		m.indexAddLocked(model, pt)
+	}
+	m.regions[model] = region
+	m.stats.Prefetched += len(region)
 }
 
 // InsertPrediction adds one asynchronously prefetched tile to a model's
-// region, newest first, trimmed to the model's current allotment. Unlike
+// region, newest first, trimmed to the model's current allotment. pos is
+// the batch position the prefetcher ranked the tile at (0 = front-runner),
+// the attribution its eventual hit/miss outcome is recorded under. Unlike
 // FillPredictions (the synchronous path, which replaces a region with a
 // whole ranked batch), tiles delivered by the prefetch scheduler arrive one
 // at a time and possibly out of order; the region behaves as a small
-// ring: a duplicate coordinate is refreshed in place, and tiles beyond the
-// allotment fall off the old end as evictions. A model with no allotment
-// drops the tile.
-func (m *Manager) InsertPrediction(model string, t *tile.Tile) {
+// ring: a duplicate coordinate is refreshed in place (the old instance goes
+// unjudged), and tiles beyond the allotment fall off the old end as
+// evictions. A model with no allotment drops the tile.
+func (m *Manager) InsertPrediction(model string, t *tile.Tile, pos int) {
 	if t == nil {
 		return
 	}
@@ -136,58 +319,65 @@ func (m *Manager) InsertPrediction(model string, t *tile.Tile) {
 		return
 	}
 	region := m.regions[model]
-	out := make([]*tile.Tile, 0, len(region)+1)
-	out = append(out, t)
+	fresh := &predTile{t: t, pos: pos}
+	out := make([]*predTile, 0, len(region)+1)
+	out = append(out, fresh)
 	for _, old := range region {
-		if old != nil && old.Coord != t.Coord {
-			out = append(out, old)
+		if old.t.Coord == t.Coord {
+			continue // refresh: judged afresh at the new position
 		}
+		out = append(out, old)
 	}
 	if len(out) > k {
-		m.stats.Evicted += len(out) - k
+		for _, evicted := range out[k:] {
+			m.evictRegionLocked(model, evicted)
+		}
 		out = out[:k]
 	}
 	m.regions[model] = out
+	m.indexAddLocked(model, fresh)
 	m.stats.Prefetched++
 }
 
 // Lookup returns the cached tile for c from any region, counting a hit or
-// miss. The model regions are checked first (prefetched tiles), then the
-// recent-request LRU.
+// miss: one index access resolves the model regions (checked first) and the
+// recent-request LRU alike. The first consumption of a prefetched entry
+// records a hit outcome for the model and batch position that prefetched
+// it.
 func (m *Manager) Lookup(c tile.Coord) (*tile.Tile, bool) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	for _, region := range m.regions {
-		for _, t := range region {
-			if t != nil && t.Coord == c {
-				m.stats.Hits++
-				return t, true
+	if e := m.byCoord[c]; e != nil {
+		if len(e.refs) > 0 {
+			// Every model that predicted this tile gets consumption credit:
+			// models often agree on the user's next tile, and judging only
+			// one of them would later count the others' correct predictions
+			// as misses at eviction.
+			for _, ref := range e.refs {
+				if !ref.pt.consumed {
+					ref.pt.consumed = true
+					m.recordOutcomeLocked(Outcome{Model: ref.model, Position: ref.pt.pos, Hit: true})
+				}
 			}
+			m.stats.Hits++
+			return e.refs[0].pt.t, true
 		}
-	}
-	if el, ok := m.recentIdx[c]; ok {
-		m.recent.MoveToFront(el)
-		m.stats.Hits++
-		return el.Value.(*tile.Tile), true
+		if e.recent != nil {
+			m.recent.MoveToFront(e.recent)
+			m.stats.Hits++
+			return e.recent.Value.(*tile.Tile), true
+		}
 	}
 	m.stats.Misses++
 	return nil, false
 }
 
-// Peek reports whether c is cached without touching statistics or LRU
-// order.
+// Peek reports whether c is cached without touching statistics, outcomes or
+// LRU order.
 func (m *Manager) Peek(c tile.Coord) bool {
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	for _, region := range m.regions {
-		for _, t := range region {
-			if t != nil && t.Coord == c {
-				return true
-			}
-		}
-	}
-	_, ok := m.recentIdx[c]
-	return ok
+	return m.byCoord[c] != nil
 }
 
 // InsertRecent records a tile the interface actually requested into the
@@ -198,16 +388,21 @@ func (m *Manager) InsertRecent(t *tile.Tile) {
 	}
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	if el, ok := m.recentIdx[t.Coord]; ok {
-		m.recent.MoveToFront(el)
-		el.Value = t
+	e := m.entryForLocked(t.Coord)
+	if e.recent != nil {
+		m.recent.MoveToFront(e.recent)
+		e.recent.Value = t
 		return
 	}
-	m.recentIdx[t.Coord] = m.recent.PushFront(t)
+	e.recent = m.recent.PushFront(t)
 	for m.recent.Len() > m.recentCap {
 		back := m.recent.Back()
 		m.recent.Remove(back)
-		delete(m.recentIdx, back.Value.(*tile.Tile).Coord)
+		c := back.Value.(*tile.Tile).Coord
+		if be := m.byCoord[c]; be != nil {
+			be.recent = nil
+			m.dropIfEmptyLocked(c, be)
+		}
 		m.stats.Evicted++
 	}
 }
@@ -227,13 +422,15 @@ func (m *Manager) ResetStats() {
 }
 
 // Clear empties every region and the LRU (a new session), keeping the
-// allocation strategy.
+// allocation strategy. Cleared prediction entries are not judged: a session
+// reset says nothing about whether the predictions were good.
 func (m *Manager) Clear() {
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	m.regions = make(map[string][]*tile.Tile)
+	m.regions = make(map[string][]*predTile)
+	m.byCoord = make(map[tile.Coord]*coordEntry)
 	m.recent.Init()
-	m.recentIdx = make(map[tile.Coord]*list.Element)
+	m.outcomes = nil
 }
 
 // MemBytes estimates the cache's current tile memory footprint.
@@ -242,10 +439,8 @@ func (m *Manager) MemBytes() int {
 	defer m.mu.Unlock()
 	total := 0
 	for _, region := range m.regions {
-		for _, t := range region {
-			if t != nil {
-				total += t.Bytes()
-			}
+		for _, pt := range region {
+			total += pt.t.Bytes()
 		}
 	}
 	for el := m.recent.Front(); el != nil; el = el.Next() {

@@ -216,13 +216,13 @@ func TestInsertPredictionRingBehavior(t *testing.T) {
 	m := NewManager(2)
 	m.SetAllocations(map[string]int{"ab": 2})
 	a, b, c := mkTile(2, 0, 0), mkTile(2, 0, 1), mkTile(2, 1, 0)
-	m.InsertPrediction("ab", a)
-	m.InsertPrediction("ab", b)
+	m.InsertPrediction("ab", a, 0)
+	m.InsertPrediction("ab", b, 1)
 	if !m.Peek(a.Coord) || !m.Peek(b.Coord) {
 		t.Fatal("both inserted predictions should be cached")
 	}
 	// A third insert evicts the oldest (a).
-	m.InsertPrediction("ab", c)
+	m.InsertPrediction("ab", c, 2)
 	if m.Peek(a.Coord) {
 		t.Error("oldest prediction should have been evicted")
 	}
@@ -230,7 +230,7 @@ func TestInsertPredictionRingBehavior(t *testing.T) {
 		t.Error("newest two predictions should remain")
 	}
 	// Re-inserting an existing coordinate refreshes, not duplicates.
-	m.InsertPrediction("ab", b)
+	m.InsertPrediction("ab", b, 1)
 	st := m.Stats()
 	if st.Prefetched != 4 {
 		t.Errorf("Prefetched = %d, want 4", st.Prefetched)
@@ -243,7 +243,7 @@ func TestInsertPredictionRingBehavior(t *testing.T) {
 func TestInsertPredictionNoAllotment(t *testing.T) {
 	m := NewManager(2)
 	m.SetAllocations(map[string]int{"ab": 1})
-	m.InsertPrediction("unknown", mkTile(1, 0, 0))
+	m.InsertPrediction("unknown", mkTile(1, 0, 0), 0)
 	if m.Len() != 0 {
 		t.Error("prediction for an unallocated model must be dropped")
 	}

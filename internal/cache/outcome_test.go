@@ -1,0 +1,399 @@
+package cache
+
+import (
+	"fmt"
+	"testing"
+
+	"forecache/internal/tile"
+)
+
+// drain is a test helper asserting the exact outcome set (order-sensitive).
+func drain(t *testing.T, m *Manager, want []Outcome) {
+	t.Helper()
+	got := m.TakeOutcomes()
+	if len(got) != len(want) {
+		t.Fatalf("outcomes = %+v, want %+v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("outcome[%d] = %+v, want %+v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestOutcomeHitAttribution(t *testing.T) {
+	m := NewManager(4)
+	m.TrackOutcomes(true)
+	m.SetAllocations(map[string]int{"ab": 3})
+	tiles := []*tile.Tile{mkTile(2, 0, 0), mkTile(2, 0, 1), mkTile(2, 1, 0)}
+	m.FillPredictions("ab", tiles)
+
+	// Consuming the rank-1 prediction credits position 1, exactly once.
+	if _, ok := m.Lookup(tiles[1].Coord); !ok {
+		t.Fatal("prefetched tile should hit")
+	}
+	if _, ok := m.Lookup(tiles[1].Coord); !ok {
+		t.Fatal("second lookup should still hit")
+	}
+	drain(t, m, []Outcome{{Model: "ab", Position: 1, Hit: true}})
+
+	// An overall miss emits no position outcome: nothing predicted it.
+	if _, ok := m.Lookup(tile.Coord{Level: 5}); ok {
+		t.Fatal("absent tile should miss")
+	}
+	drain(t, m, nil)
+}
+
+// TestOutcomeCreditsEveryAgreeingModel: when several models predicted the
+// consumed tile, each one's prediction was correct — all get hit outcomes,
+// and none is later judged a miss at eviction.
+func TestOutcomeCreditsEveryAgreeingModel(t *testing.T) {
+	m := NewManager(4)
+	m.TrackOutcomes(true)
+	m.SetAllocations(map[string]int{"ab": 2, "sb": 2})
+	shared := mkTile(2, 0, 0)
+	m.FillPredictions("ab", []*tile.Tile{shared, mkTile(2, 0, 1)})
+	m.FillPredictions("sb", []*tile.Tile{mkTile(2, 1, 0), shared})
+	if _, ok := m.Lookup(shared.Coord); !ok {
+		t.Fatal("shared prediction should hit")
+	}
+	got := m.TakeOutcomes()
+	credited := map[string]int{}
+	for _, o := range got {
+		if !o.Hit {
+			t.Fatalf("unexpected miss outcome %+v", o)
+		}
+		credited[o.Model] = o.Position
+	}
+	if len(got) != 2 || credited["ab"] != 0 || credited["sb"] != 1 {
+		t.Fatalf("outcomes = %+v, want ab@0 and sb@1 hits", got)
+	}
+	// Dropping both regions now judges only the never-consumed tiles.
+	m.SetAllocations(map[string]int{})
+	for _, o := range m.TakeOutcomes() {
+		if o.Hit || (o.Position == 0 && o.Model == "ab") || (o.Position == 1 && o.Model == "sb") {
+			t.Fatalf("consumed shared tile was re-judged: %+v", o)
+		}
+	}
+}
+
+func TestOutcomeMissOnReplacement(t *testing.T) {
+	m := NewManager(4)
+	m.TrackOutcomes(true)
+	m.SetAllocations(map[string]int{"ab": 2})
+	a, b := mkTile(2, 0, 0), mkTile(2, 0, 1)
+	m.FillPredictions("ab", []*tile.Tile{a, b})
+	if _, ok := m.Lookup(a.Coord); !ok {
+		t.Fatal("a should hit")
+	}
+	// The next batch re-predicts nothing: a was consumed (hit already
+	// recorded), b was not (miss at its position 1).
+	c, d := mkTile(2, 1, 0), mkTile(2, 1, 1)
+	m.FillPredictions("ab", []*tile.Tile{c, d})
+	drain(t, m, []Outcome{
+		{Model: "ab", Position: 0, Hit: true},
+		{Model: "ab", Position: 1, Hit: false},
+	})
+}
+
+func TestOutcomeRefreshIsNotJudged(t *testing.T) {
+	m := NewManager(4)
+	m.TrackOutcomes(true)
+	m.SetAllocations(map[string]int{"ab": 2})
+	a, b := mkTile(2, 0, 0), mkTile(2, 0, 1)
+	m.FillPredictions("ab", []*tile.Tile{a, b})
+	// b is re-predicted (now at rank 0): no outcome for the old instance;
+	// a leaves unconsumed: miss at position 0.
+	m.FillPredictions("ab", []*tile.Tile{b, mkTile(2, 1, 1)})
+	drain(t, m, []Outcome{{Model: "ab", Position: 0, Hit: false}})
+	// Consuming b now credits its refreshed position 0.
+	if _, ok := m.Lookup(b.Coord); !ok {
+		t.Fatal("refreshed tile should hit")
+	}
+	drain(t, m, []Outcome{{Model: "ab", Position: 0, Hit: true}})
+}
+
+func TestOutcomeAsyncRingEviction(t *testing.T) {
+	m := NewManager(4)
+	m.TrackOutcomes(true)
+	m.SetAllocations(map[string]int{"ab": 2})
+	a, b, c := mkTile(2, 0, 0), mkTile(2, 0, 1), mkTile(2, 1, 0)
+	m.InsertPrediction("ab", a, 0)
+	m.InsertPrediction("ab", b, 1)
+	m.InsertPrediction("ab", c, 2) // rings a out, unconsumed: miss at pos 0
+	drain(t, m, []Outcome{{Model: "ab", Position: 0, Hit: false}})
+	if _, ok := m.Lookup(c.Coord); !ok {
+		t.Fatal("newest prediction should hit")
+	}
+	drain(t, m, []Outcome{{Model: "ab", Position: 2, Hit: true}})
+}
+
+func TestOutcomeAllocationLossJudged(t *testing.T) {
+	m := NewManager(4)
+	m.TrackOutcomes(true)
+	m.SetAllocations(map[string]int{"ab": 2, "sb": 1})
+	m.FillPredictions("ab", []*tile.Tile{mkTile(2, 0, 0), mkTile(2, 0, 1)})
+	m.FillPredictions("sb", []*tile.Tile{mkTile(2, 1, 0)})
+	// ab shrinks to 1 slot (rank-1 entry trimmed: miss at 1); sb loses its
+	// region entirely (miss at 0).
+	m.SetAllocations(map[string]int{"ab": 1})
+	got := m.TakeOutcomes()
+	misses := map[string]int{}
+	for _, o := range got {
+		if o.Hit {
+			t.Fatalf("unexpected hit outcome %+v", o)
+		}
+		misses[fmt.Sprintf("%s@%d", o.Model, o.Position)]++
+	}
+	if misses["ab@1"] != 1 || misses["sb@0"] != 1 || len(got) != 2 {
+		t.Fatalf("outcomes = %+v, want ab@1 and sb@0 misses", got)
+	}
+}
+
+func TestOutcomeClearNotJudged(t *testing.T) {
+	m := NewManager(4)
+	m.TrackOutcomes(true)
+	m.SetAllocations(map[string]int{"ab": 2})
+	m.FillPredictions("ab", []*tile.Tile{mkTile(2, 0, 0)})
+	m.Clear()
+	if got := m.TakeOutcomes(); len(got) != 0 {
+		t.Fatalf("Clear must not judge predictions, got %+v", got)
+	}
+	if m.Len() != 0 {
+		t.Fatal("Clear should empty the cache")
+	}
+}
+
+func TestOutcomeTrackingOffByDefault(t *testing.T) {
+	m := NewManager(4)
+	m.SetAllocations(map[string]int{"ab": 1})
+	m.FillPredictions("ab", []*tile.Tile{mkTile(2, 0, 0)})
+	m.Lookup(tile.Coord{Level: 2})
+	m.FillPredictions("ab", []*tile.Tile{mkTile(2, 1, 1)})
+	if got := m.TakeOutcomes(); got != nil {
+		t.Fatalf("outcomes accumulated while disabled: %+v", got)
+	}
+}
+
+func TestOutcomeBufferBounded(t *testing.T) {
+	m := NewManager(4)
+	m.TrackOutcomes(true)
+	m.SetAllocations(map[string]int{"ab": 1})
+	for i := 0; i < outcomeBufferCap+100; i++ {
+		m.InsertPrediction("ab", mkTile(8, i/512, i%512), 0)
+	}
+	if got := len(m.TakeOutcomes()); got > outcomeBufferCap {
+		t.Fatalf("outcome buffer grew to %d, cap is %d", got, outcomeBufferCap)
+	}
+}
+
+// TestIndexConsistentAfterChurn cross-checks the coordinate index against a
+// full region scan after a mixed workload.
+func TestIndexConsistentAfterChurn(t *testing.T) {
+	m := NewManager(4)
+	m.SetAllocations(map[string]int{"ab": 3, "sb": 2})
+	for i := 0; i < 50; i++ {
+		switch i % 5 {
+		case 0:
+			m.FillPredictions("ab", []*tile.Tile{mkTile(3, i%8, 0), mkTile(3, i%8, 1)})
+		case 1:
+			m.InsertPrediction("sb", mkTile(3, i%8, 2), i%3)
+		case 2:
+			m.Lookup(tile.Coord{Level: 3, Y: i % 8, X: 1})
+		case 3:
+			m.SetAllocations(map[string]int{"ab": 1 + i%3, "sb": 2})
+		case 4:
+			m.InsertRecent(mkTile(4, i, i))
+		}
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	inRegions := map[tile.Coord]int{}
+	for model, region := range m.regions {
+		for _, pt := range region {
+			inRegions[pt.t.Coord]++
+			found := false
+			if e := m.byCoord[pt.t.Coord]; e != nil {
+				for _, ref := range e.refs {
+					if ref.model == model && ref.pt == pt {
+						found = true
+					}
+				}
+			}
+			if !found {
+				t.Errorf("index missing region entry %v/%s", pt.t.Coord, model)
+			}
+		}
+	}
+	indexed, recents := 0, 0
+	for c, e := range m.byCoord {
+		indexed += len(e.refs)
+		if e.recent != nil {
+			recents++
+		}
+		if len(e.refs) == 0 && e.recent == nil {
+			t.Errorf("index holds empty entry for %v", c)
+		}
+		if len(e.refs) > 0 && inRegions[c] == 0 {
+			t.Errorf("index holds %v which no region holds", c)
+		}
+	}
+	total := 0
+	for _, n := range inRegions {
+		total += n
+	}
+	if indexed != total {
+		t.Errorf("index holds %d region refs, regions hold %d", indexed, total)
+	}
+	if recents != m.recent.Len() {
+		t.Errorf("index holds %d recent refs, LRU holds %d", recents, m.recent.Len())
+	}
+}
+
+// lookupScan reimplements the pre-index linear lookup (every region slice
+// scanned under the lock, then one map probe for the LRU region) as the
+// benchmark baseline.
+func (m *Manager) lookupScan(c tile.Coord) (*tile.Tile, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for _, region := range m.regions {
+		for _, pt := range region {
+			if pt.t.Coord == c {
+				return pt.t, true
+			}
+		}
+	}
+	if e := m.byCoord[c]; e != nil && e.recent != nil {
+		return e.recent.Value.(*tile.Tile), true
+	}
+	return nil, false
+}
+
+// benchManagerN builds the hot-path fix's reference shape: n model regions
+// of 8 tiles each (K=8), with production-sized tiles (16x16 float64 grids,
+// ~2KB) scattered across the heap the way a long-running server's tiles
+// are — the linear scan pays a pointer chase per entry.
+func benchManagerN(n int) (*Manager, []tile.Coord) {
+	m := NewManager(8)
+	allocs := map[string]int{}
+	var coords []tile.Coord
+	var ballast [][]float64
+	for r := 0; r < n; r++ {
+		allocs[fmt.Sprintf("model%d", r)] = 8
+	}
+	m.SetAllocations(allocs)
+	for r := 0; r < n; r++ {
+		var tiles []*tile.Tile
+		for i := 0; i < 8; i++ {
+			tl := &tile.Tile{
+				Coord: tile.Coord{Level: 5, Y: r, X: i},
+				Size:  16, Attrs: []string{"v"},
+				Data: [][]float64{make([]float64, 16*16)},
+			}
+			ballast = append(ballast, make([]float64, 4096))
+			tiles = append(tiles, tl)
+			coords = append(coords, tl.Coord)
+		}
+		m.FillPredictions(fmt.Sprintf("model%d", r), tiles)
+	}
+	_ = ballast
+	return m, coords
+}
+
+func benchManager() (*Manager, []tile.Coord) { return benchManagerN(8) }
+
+// BenchmarkLookupIndexed8Regions vs BenchmarkLookupScan8Regions measure the
+// hot-path win of the coordinate index at K=8 regions; the miss pair is the
+// worst case for the scan (every region walked end to end).
+func BenchmarkLookupIndexed8Regions(b *testing.B) {
+	m, coords := benchManager()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		m.Lookup(coords[i%len(coords)])
+	}
+}
+
+func BenchmarkLookupScan8Regions(b *testing.B) {
+	m, coords := benchManager()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		m.lookupScan(coords[i%len(coords)])
+	}
+}
+
+func BenchmarkLookupMissIndexed8Regions(b *testing.B) {
+	m, _ := benchManager()
+	miss := tile.Coord{Level: 9, Y: 9, X: 9}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		m.Lookup(miss)
+	}
+}
+
+func BenchmarkLookupMissScan8Regions(b *testing.B) {
+	m, _ := benchManager()
+	miss := tile.Coord{Level: 9, Y: 9, X: 9}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		m.lookupScan(miss)
+	}
+}
+
+// The 16-region pair shows the asymptotic point: the scan is O(regions ×
+// K) while the index stays flat, so the gap widens with every model a
+// deployment adds.
+func BenchmarkLookupMissIndexed16Regions(b *testing.B) {
+	m, _ := benchManagerN(16)
+	miss := tile.Coord{Level: 9, Y: 99, X: 99}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		m.Lookup(miss)
+	}
+}
+
+func BenchmarkLookupMissScan16Regions(b *testing.B) {
+	m, _ := benchManagerN(16)
+	miss := tile.Coord{Level: 9, Y: 99, X: 99}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		m.lookupScan(miss)
+	}
+}
+
+// The parallel pair measures what the scan really costs a loaded server:
+// the manager's mutex is shared by the request path and the scheduler's
+// async deliveries, so lock hold time — not per-call latency — bounds
+// throughput. The linear scan holds the lock for the whole regions walk.
+func BenchmarkLookupParallelIndexed8Regions(b *testing.B) {
+	m, coords := benchManager()
+	miss := tile.Coord{Level: 9, Y: 9, X: 9}
+	b.ReportAllocs()
+	b.RunParallel(func(pb *testing.PB) {
+		i := 0
+		for pb.Next() {
+			if i%2 == 0 {
+				m.Lookup(coords[i%len(coords)])
+			} else {
+				m.Lookup(miss)
+			}
+			i++
+		}
+	})
+}
+
+func BenchmarkLookupParallelScan8Regions(b *testing.B) {
+	m, coords := benchManager()
+	miss := tile.Coord{Level: 9, Y: 9, X: 9}
+	b.ReportAllocs()
+	b.RunParallel(func(pb *testing.PB) {
+		i := 0
+		for pb.Next() {
+			if i%2 == 0 {
+				m.lookupScan(coords[i%len(coords)])
+			} else {
+				m.lookupScan(miss)
+			}
+			i++
+		}
+	})
+}

@@ -9,11 +9,13 @@ import (
 	"forecache/internal/tile"
 )
 
-// fakeSubmitter records submitted batches and reports a settable pressure.
+// fakeSubmitter records submitted batches and reports settable global and
+// per-session pressures.
 type fakeSubmitter struct {
-	mu       sync.Mutex
-	batches  [][]prefetch.Request
-	pressure float64
+	mu         sync.Mutex
+	batches    [][]prefetch.Request
+	pressure   float64
+	perSession map[string]float64
 }
 
 func (f *fakeSubmitter) Submit(session string, reqs []prefetch.Request) int {
@@ -31,9 +33,24 @@ func (f *fakeSubmitter) Pressure() float64 {
 	return f.pressure
 }
 
+func (f *fakeSubmitter) SessionPressure(session string) float64 {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.perSession[session]
+}
+
 func (f *fakeSubmitter) setPressure(p float64) {
 	f.mu.Lock()
 	f.pressure = p
+	f.mu.Unlock()
+}
+
+func (f *fakeSubmitter) setSessionPressure(session string, p float64) {
+	f.mu.Lock()
+	if f.perSession == nil {
+		f.perSession = map[string]float64{}
+	}
+	f.perSession[session] = p
 	f.mu.Unlock()
 }
 
@@ -148,7 +165,7 @@ func TestAdaptiveKKeepsCacheRegionsFull(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		eng.deliver(m.Name(), eng.epoch, tl)
+		eng.deliver(m.Name(), eng.epoch, 0, tl)
 	}
 	// A request under full pressure shrinks its submit batch to 1...
 	fake.setPressure(1)

@@ -79,11 +79,25 @@ type Response struct {
 // enqueues a batch and returns immediately; CancelSession drops a
 // session's still-queued entries; Pressure reports the pipeline's global
 // queue saturation in [0, 1] — the backpressure signal WithAdaptiveK
-// engines use to shrink their prefetch budget under load.
+// engines use to shrink their prefetch budget under load. SessionPressure
+// is the fair-share variant of the same signal, scoped to one session:
+// sessions at or under their fair share of the queue read 0 while the
+// flooding session reads up to the full global pressure (WithFairShare
+// engines shrink on it instead).
 type Submitter interface {
 	Submit(session string, reqs []prefetch.Request) int
 	CancelSession(session string)
 	Pressure() float64
+	SessionPressure(session string) float64
+}
+
+// FeedbackObserver receives the cache's prefetch outcomes — "the tile
+// prefetched by model at batch position pos was (or was not) consumed" —
+// one call per outcome, drained after every request. Implemented by
+// *prefetch.FeedbackCollector, which fits the scheduler's position-utility
+// curve from these observations.
+type FeedbackObserver interface {
+	Observe(model string, pos int, hit bool)
 }
 
 // Option customizes an Engine beyond Config.
@@ -109,6 +123,30 @@ func WithScheduler(s Submitter, session string) Option {
 // WithScheduler; a synchronous engine always prefetches with the full K.
 func WithAdaptiveK() Option {
 	return func(e *Engine) { e.adaptiveK = true }
+}
+
+// WithFairShare switches an adaptive engine from the global Pressure
+// signal to the scheduler's per-session fair-share signal: the engine's
+// budget shrinks only to the extent ITS session crowds the shared queue
+// past its fair share, so a flooding session's K collapses first while
+// light sessions keep prefetching at full budget. Only meaningful together
+// with WithAdaptiveK.
+func WithFairShare() Option {
+	return func(e *Engine) { e.fairShare = true }
+}
+
+// WithFeedback closes the prediction-quality loop: the engine tracks each
+// prefetched tile's fate in its cache (consumed vs evicted unconsumed,
+// attributed to the model and batch position that prefetched it) and
+// reports the outcomes to obs after every request. Sharing one
+// *prefetch.FeedbackCollector across a deployment's engines and its
+// scheduler lets admission control learn the position-utility curve from
+// real consumption instead of the static positionBase guess.
+func WithFeedback(obs FeedbackObserver) Option {
+	return func(e *Engine) {
+		e.feedback = obs
+		e.cache.TrackOutcomes(obs != nil)
+	}
 }
 
 // adaptiveBudget maps backpressure to an effective prefetch budget: the
@@ -140,7 +178,9 @@ type Engine struct {
 	models     map[string]recommend.Model
 	sched      Submitter // nil => inline synchronous prefetch
 	session    string
-	adaptiveK  bool // shrink K under scheduler backpressure
+	adaptiveK  bool             // shrink K under scheduler backpressure
+	fairShare  bool             // use the per-session fair-share signal
+	feedback   FeedbackObserver // nil => outcomes are not tracked
 
 	mu      sync.Mutex
 	cache   *cache.Manager
@@ -211,16 +251,17 @@ func (e *Engine) DetachScheduler() {
 }
 
 // deliver installs an asynchronously fetched tile into the model's cache
-// region — unless the engine was reset or detached after the tile was
-// requested, in which case the stale delivery is dropped. Runs on a
-// scheduler worker; it holds the engine lock so it serializes with Reset.
-func (e *Engine) deliver(model string, epoch uint64, t *tile.Tile) {
+// region at the batch position it was ranked at — unless the engine was
+// reset or detached after the tile was requested, in which case the stale
+// delivery is dropped. Runs on a scheduler worker; it holds the engine
+// lock so it serializes with Reset.
+func (e *Engine) deliver(model string, epoch uint64, pos int, t *tile.Tile) {
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	if e.epoch != epoch || e.sched == nil {
 		return
 	}
-	e.cache.InsertPrediction(model, t)
+	e.cache.InsertPrediction(model, t, pos)
 }
 
 // Config returns the engine's configuration.
@@ -310,7 +351,11 @@ func (e *Engine) Request(c tile.Coord) (*Response, error) {
 	// pressure never evicts tiles the scheduler already delivered.
 	k := e.cfg.K
 	if e.adaptiveK && e.sched != nil {
-		k = adaptiveBudget(k, e.sched.Pressure())
+		p := e.sched.Pressure()
+		if e.fairShare {
+			p = e.sched.SessionPressure(e.session)
+		}
+		k = adaptiveBudget(k, p)
 	}
 	resp.PrefetchBudget = k
 	allocs := e.policy.Allocations(resp.Phase, e.cfg.K)
@@ -323,6 +368,16 @@ func (e *Engine) Request(c tile.Coord) (*Response, error) {
 		resp.Prefetched = e.submitPrefetch(req, fetchAllocs)
 	} else {
 		resp.Prefetched = e.prefetch(req, fetchAllocs)
+	}
+
+	// Close the loop: report this request's prefetch outcomes (hits at
+	// consumption, misses at eviction — including evictions the allocation
+	// change above just caused) to the deployment's feedback collector, so
+	// the scheduler's position-utility curve tracks real consumption.
+	if e.feedback != nil {
+		for _, o := range e.cache.TakeOutcomes() {
+			e.feedback.Observe(o.Model, o.Position, o.Hit)
+		}
 	}
 	return resp, nil
 }
@@ -397,12 +452,13 @@ func (e *Engine) submitPrefetch(req trace.Request, allocs map[string]int) []tile
 	epoch := e.epoch // caller holds e.mu
 	for _, r := range e.rankModels(req, allocs) {
 		name := r.name
-		for _, pred := range r.ranked {
+		for pi, pred := range r.ranked {
+			pos := pi // the model's rank: the position outcomes attribute to
 			reqs = append(reqs, prefetch.Request{
 				Coord: pred.Coord,
 				Score: pred.Score,
 				Deliver: func(t *tile.Tile) {
-					e.deliver(name, epoch, t)
+					e.deliver(name, epoch, pos, t)
 				},
 			})
 			if !seen[pred.Coord] {

@@ -1,0 +1,219 @@
+package prefetch
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"forecache/internal/tile"
+)
+
+// TestSessionPressureFairShare: deterministic shares on a parked scheduler.
+func TestSessionPressureFairShare(t *testing.T) {
+	clk := newFakeClock()
+	s, _ := parkedScheduler(t, clk, Config{GlobalQueue: 16, QueuePerSession: 16})
+	batch := func(n, from int, score float64) []Request {
+		reqs := make([]Request, n)
+		for i := range reqs {
+			reqs[i] = Request{Coord: coordAt(from + i), Score: score}
+		}
+		return reqs
+	}
+	// Flooder holds 13/16 of the queue, three light sessions 1 each.
+	s.Submit("flood", batch(13, 0, 2))
+	s.Submit("l1", batch(1, 100, 1))
+	s.Submit("l2", batch(1, 110, 1))
+	s.Submit("l3", batch(1, 120, 1))
+
+	if p := s.Pressure(); p != 1 {
+		t.Fatalf("global pressure = %v, want 1 (16/16 queued)", p)
+	}
+	// share 13/16 vs fair 1/4: over = (13/16-1/4)/(3/4) = 0.75.
+	if p := s.SessionPressure("flood"); p < 0.7 || p > 0.8 {
+		t.Errorf("flooder pressure = %v, want ~0.75", p)
+	}
+	// Light sessions sit far under fair share: zero pressure, full K.
+	for _, id := range []string{"l1", "l2", "l3"} {
+		if p := s.SessionPressure(id); p != 0 {
+			t.Errorf("light session %s pressure = %v, want 0", id, p)
+		}
+	}
+	// Unknown and idle sessions are not crowding anyone either.
+	if p := s.SessionPressure("nobody"); p != 0 {
+		t.Errorf("unknown session pressure = %v, want 0", p)
+	}
+	if p := s.SessionPressure("warmup"); p != 0 {
+		t.Errorf("idle session pressure = %v, want 0", p)
+	}
+	// The stats snapshot carries the same signals.
+	st := s.Stats()
+	if st.SessionPressures["flood"] == 0 || st.SessionPressures["l1"] != 0 {
+		t.Errorf("Stats().SessionPressures = %v", st.SessionPressures)
+	}
+}
+
+// TestSessionPressureSoleOccupant: one session owning a saturated queue is
+// the flooder by definition and reads the full global pressure.
+func TestSessionPressureSoleOccupant(t *testing.T) {
+	clk := newFakeClock()
+	s, _ := parkedScheduler(t, clk, Config{GlobalQueue: 4, QueuePerSession: 8})
+	reqs := make([]Request, 4)
+	for i := range reqs {
+		reqs[i] = Request{Coord: coordAt(i), Score: 1}
+	}
+	s.Submit("only", reqs)
+	if p := s.SessionPressure("only"); p != 1 {
+		t.Errorf("sole occupant pressure = %v, want the global 1", p)
+	}
+}
+
+// TestSessionPressureBalancedLoad: equal sharers all sit at fair share and
+// read zero — under symmetric load, fair-share backpressure defers to
+// shedding instead of collectively punishing every session.
+func TestSessionPressureBalancedLoad(t *testing.T) {
+	clk := newFakeClock()
+	s, _ := parkedScheduler(t, clk, Config{GlobalQueue: 8, QueuePerSession: 8})
+	for i := 0; i < 4; i++ {
+		s.Submit(fmt.Sprintf("s%d", i), []Request{
+			{Coord: coordAt(10 * i), Score: 1}, {Coord: coordAt(10*i + 1), Score: 1},
+		})
+	}
+	for i := 0; i < 4; i++ {
+		if p := s.SessionPressure(fmt.Sprintf("s%d", i)); p != 0 {
+			t.Errorf("balanced session s%d pressure = %v, want 0", i, p)
+		}
+	}
+}
+
+func TestSessionPressureZeroWithoutGlobalBudget(t *testing.T) {
+	clk := newFakeClock()
+	s, _ := parkedScheduler(t, clk, Config{QueuePerSession: 8})
+	s.Submit("a", []Request{{Coord: coordAt(0), Score: 1}})
+	if p := s.SessionPressure("a"); p != 0 {
+		t.Errorf("pressure without global budget = %v, want 0", p)
+	}
+}
+
+// mirrorAdaptiveK mirrors core.adaptiveBudget (pinned by core's
+// TestAdaptiveBudgetTable) so this package can assert the fair-share
+// contract in terms of the prefetch budget K engines would actually use.
+func mirrorAdaptiveK(k int, pressure float64) int {
+	if pressure <= 0 || k <= 1 {
+		return k
+	}
+	if pressure > 1 {
+		pressure = 1
+	}
+	eff := k - int(pressure*float64(k-1)+0.5)
+	if eff < 1 {
+		eff = 1
+	}
+	return eff
+}
+
+// TestFairShareFloodersShrinkFirst is the backpressure ordering contract
+// under -race: one flooder (whole-budget batches every round) and three
+// light sessions (single-tile batches) submit concurrently. At every
+// observation point the flooder's effective K must shrink to 1 before any
+// light session's K drops below the configured value — the flooding
+// session pays for saturation, its victims do not.
+func TestFairShareFloodersShrinkFirst(t *testing.T) {
+	const configuredK = 5
+	store := newFakeStore()
+	store.gate = make(chan struct{})
+	store.started = make(chan tile.Coord, 1024)
+	s := NewScheduler(store, Config{Workers: 1, QueuePerSession: 64, GlobalQueue: 32})
+	defer func() {
+		close(store.gate)
+		s.Close()
+	}()
+	// Park the single worker so queue contents stay under our control, and
+	// let the flooder saturate the queue before the race starts (the
+	// ordering contract is about behavior DURING a flood; a light session
+	// alone on an empty queue is its sole occupant and rightly owns the
+	// whole budget).
+	s.Submit("warmup", []Request{{Coord: tile.Coord{Level: 1}, Score: 1}})
+	<-store.started
+	flood := func(r int) []Request {
+		reqs := make([]Request, 48) // wants 1.5x the whole global budget
+		for i := range reqs {
+			reqs[i] = Request{Coord: coordAt((r*48 + i) % 500), Score: 1}
+		}
+		return reqs
+	}
+	s.Submit("flood", flood(0))
+
+	const rounds = 200
+	var submitters sync.WaitGroup
+	submit := func(id string, rnd func(r int) []Request) {
+		defer submitters.Done()
+		for r := 0; r < rounds; r++ {
+			s.Submit(id, rnd(r))
+		}
+	}
+	light := func(base int) func(int) []Request {
+		return func(r int) []Request {
+			return []Request{{Coord: coordAt(base + r%50), Score: 1}}
+		}
+	}
+	submitters.Add(4)
+	go submit("flood", flood)
+	go submit("l1", light(1000))
+	go submit("l2", light(2000))
+	go submit("l3", light(3000))
+
+	// Sample the backpressure signals while the submitters race.
+	errCh := make(chan error, 1)
+	done := make(chan struct{})
+	var sampler sync.WaitGroup
+	sampler.Add(1)
+	go func() {
+		defer sampler.Done()
+		fail := func(err error) {
+			select {
+			case errCh <- err:
+			default:
+			}
+		}
+		for {
+			select {
+			case <-done:
+				return
+			default:
+			}
+			kf := mirrorAdaptiveK(configuredK, s.SessionPressure("flood"))
+			for _, id := range []string{"l1", "l2", "l3"} {
+				if kl := mirrorAdaptiveK(configuredK, s.SessionPressure(id)); kl < configuredK && kf > 1 {
+					fail(fmt.Errorf("light %s shrank to K=%d while the flooder still had K=%d", id, kl, kf))
+					return
+				}
+			}
+		}
+	}()
+
+	submitters.Wait()
+	close(done)
+	sampler.Wait()
+	select {
+	case err := <-errCh:
+		t.Fatal(err)
+	default:
+	}
+
+	// The settled end state is deterministic: the flooder holds 29 of the
+	// 32 budget slots (3 went to the lights, which tie-keep their slots),
+	// so its K is floored at 1 while every light keeps the configured K.
+	if pf := s.SessionPressure("flood"); mirrorAdaptiveK(configuredK, pf) != 1 {
+		t.Errorf("settled flooder pressure %v does not floor K (K=%d)", pf, mirrorAdaptiveK(configuredK, pf))
+	}
+	for _, id := range []string{"l1", "l2", "l3"} {
+		if pl := s.SessionPressure(id); mirrorAdaptiveK(configuredK, pl) != configuredK {
+			t.Errorf("settled light %s pressure %v shrinks K to %d, want %d",
+				id, pl, mirrorAdaptiveK(configuredK, pl), configuredK)
+		}
+	}
+	st := s.Stats()
+	if st.QueueDepths["flood"] != 29 {
+		t.Errorf("settled flooder depth = %d, want 29 (32 budget - 3 lights)", st.QueueDepths["flood"])
+	}
+}

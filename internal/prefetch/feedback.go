@@ -1,0 +1,180 @@
+package prefetch
+
+import (
+	"math"
+	"sync"
+)
+
+// FeedbackCollector closes the loop from cache outcomes back into the
+// scheduler: it fits the deployment's position-utility curve online from
+// what clients actually consumed, replacing the hard-coded positionBase
+// guess (Khameleon fits utility functions from observed client consumption
+// logs in exactly this way).
+//
+// Every prefetched tile eventually produces one Outcome in the cache
+// manager — consumed (hit) or evicted unconsumed (miss) — attributed to
+// the batch position it was prefetched at. The collector keeps an
+// exponentially-weighted moving average of the hit rate per position; the
+// scheduler then discounts a queued entry ranked at position p by
+// Factor(p), the learned consumption probability of position p relative to
+// the front-runner, instead of the static positionBase^p.
+//
+// Until a position has warmupObs observations its factor falls back to the
+// static curve, so a cold deployment behaves exactly like the unlearned
+// one. Factors are clamped to (0, 1] and forced non-increasing in p
+// (diminishing returns): consumption noise must never invert the batch
+// order the recommenders chose, only reshape how steeply it discounts.
+//
+// A FeedbackCollector is shared by every session engine of a deployment
+// and by its scheduler; all methods are safe for concurrent use.
+type FeedbackCollector struct {
+	mu    sync.Mutex
+	alpha float64   // EWMA weight of a new observation
+	rate  []float64 // EWMA consumption rate by position
+	obs   []int     // observations per position
+	// per-model consumption tallies, for operability (/metrics): which
+	// recommender's prefetches actually get consumed.
+	modelHits   map[string]int
+	modelMisses map[string]int
+}
+
+// Collector tuning. The EWMA weight trades adaptation speed against noise:
+// at 0.02 the curve's memory is ~50 observations per position, a few
+// minutes of one active session's browsing.
+const (
+	feedbackAlpha = 0.02
+	warmupObs     = 30
+	minFactor     = 0.01 // learned floor: a tail position never hits zero
+)
+
+// NewFeedbackCollector returns a collector learning factors for positions
+// 0..maxPos-1; observations at deeper positions clamp to the last bucket.
+// maxPos is typically the deployment's prefetch budget K.
+func NewFeedbackCollector(maxPos int) *FeedbackCollector {
+	if maxPos < 2 {
+		maxPos = 2
+	}
+	return &FeedbackCollector{
+		alpha:       feedbackAlpha,
+		rate:        make([]float64, maxPos),
+		obs:         make([]int, maxPos),
+		modelHits:   make(map[string]int),
+		modelMisses: make(map[string]int),
+	}
+}
+
+// Observe records one cache outcome: the tile prefetched at batch position
+// pos by model was (hit) or was not (miss) consumed before eviction.
+func (f *FeedbackCollector) Observe(model string, pos int, hit bool) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if pos < 0 {
+		pos = 0
+	}
+	if pos >= len(f.rate) {
+		pos = len(f.rate) - 1
+	}
+	v := 0.0
+	if hit {
+		v = 1.0
+	}
+	if f.obs[pos] == 0 {
+		f.rate[pos] = v
+	} else {
+		f.rate[pos] += f.alpha * (v - f.rate[pos])
+	}
+	f.obs[pos]++
+	if hit {
+		f.modelHits[model]++
+	} else {
+		f.modelMisses[model]++
+	}
+}
+
+// Factor returns the position-decay factor for batch position pos: the
+// learned consumption rate of pos relative to position 0, or the static
+// positionBase^pos while either bucket is still warming up. Factors are
+// non-increasing in pos, so within a batch the utility order is always the
+// recommenders' rank order.
+func (f *FeedbackCollector) Factor(pos int) float64 {
+	if pos <= 0 {
+		return 1
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	factor := 1.0
+	for p := 1; p <= pos; p++ {
+		factor = math.Min(factor, f.factorAtLocked(p))
+	}
+	return factor
+}
+
+// Curve snapshots the effective factor per position (index = position)
+// under one lock hold, so the exported curve is internally consistent —
+// monotone even while Observe calls race the snapshot. It is exactly what
+// Factor returns at each position: the learned, monotone curve once warmed
+// up, the static one before. Exported under /metrics and /stats so
+// operators can watch the fit converge.
+func (f *FeedbackCollector) Curve() []float64 {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	out := make([]float64, len(f.rate))
+	factor := 1.0
+	for p := range out {
+		if p > 0 {
+			factor = math.Min(factor, f.factorAtLocked(p))
+		}
+		out[p] = factor
+	}
+	return out
+}
+
+// factorAtLocked is the raw learned (or fallback) factor at one position,
+// before the monotone clamp.
+func (f *FeedbackCollector) factorAtLocked(pos int) float64 {
+	i := pos
+	if i >= len(f.rate) {
+		i = len(f.rate) - 1
+	}
+	if f.obs[i] < warmupObs || f.obs[0] < warmupObs || f.rate[0] <= 0 {
+		return math.Pow(positionBase, float64(pos))
+	}
+	factor := f.rate[i] / f.rate[0]
+	if factor > 1 {
+		factor = 1
+	}
+	if factor < minFactor {
+		factor = minFactor
+	}
+	return factor
+}
+
+// Observations returns the total outcome count the curve was fit from.
+func (f *FeedbackCollector) Observations() int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	n := 0
+	for _, c := range f.obs {
+		n += c
+	}
+	return n
+}
+
+// ModelRates snapshots per-model consumption tallies: hits and misses of
+// each recommender's prefetched tiles.
+func (f *FeedbackCollector) ModelRates() map[string][2]int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	out := make(map[string][2]int, len(f.modelHits)+len(f.modelMisses))
+	for m, h := range f.modelHits {
+		v := out[m]
+		v[0] = h
+		out[m] = v
+	}
+	for m, miss := range f.modelMisses {
+		v := out[m]
+		v[1] = miss
+		out[m] = v
+	}
+	return out
+}

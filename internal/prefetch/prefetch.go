@@ -36,7 +36,15 @@
 //     fresh predictions;
 //   - Pressure reports global queue saturation in [0, 1]; engines use it as
 //     a backpressure signal to shrink their prefetch budget K under load
-//     (core.WithAdaptiveK) and restore it when the queue drains.
+//     (core.WithAdaptiveK) and restore it when the queue drains;
+//   - SessionPressure is the fair-share variant: global pressure scaled by
+//     how far one session's queue share exceeds its fair share 1/N, so the
+//     flooding session's budget collapses first while light sessions keep
+//     prefetching at full K (core.WithFairShare);
+//   - a FeedbackCollector (Config.Utility) closes the loop from cache
+//     outcomes back into admission control: it fits the position-utility
+//     curve online from which prefetched tiles clients actually consumed,
+//     replacing the static positionBase guess once warmed up.
 //
 // The scheduler is shared by every session of one deployment and composes
 // with backend.SharedPool: the pool deduplicates tiles across time (a tile
@@ -81,6 +89,13 @@ type Config struct {
 	// Stale entries therefore lose admission-control fights against fresh
 	// ones of equal model confidence. 0 disables age decay.
 	DecayHalfLife time.Duration
+	// Utility, when set, replaces the static position-decay base with the
+	// collector's learned curve: admission control discounts a queued
+	// entry ranked at position p by the observed consumption rate of
+	// position p relative to the front-runner. The same collector is fed
+	// cache outcomes by every session engine (core.WithFeedback). Nil
+	// keeps the static curve.
+	Utility *FeedbackCollector
 
 	// clock overrides time.Now; scheduler tests inject a deterministic
 	// clock so decay is testable without sleeps.
@@ -139,7 +154,19 @@ type Stats struct {
 	Pressure float64
 	// QueueDepths maps each tracked session to its live queued entry count.
 	QueueDepths map[string]int
+	// SessionPressures maps each tracked session to its fair-share
+	// backpressure signal (Scheduler.SessionPressure): 0 for sessions at
+	// or under their fair share of the queue, ramping to Pressure for a
+	// session that owns it.
+	SessionPressures map[string]float64
 	// AvgQueueLatency is the mean time entries spent queued before their
 	// fetch was issued (or joined).
 	AvgQueueLatency time.Duration
+	// UtilityCurve is the effective position-decay curve when a
+	// FeedbackCollector is configured (index = batch position): learned
+	// once warmed up, the static base^pos before. Nil without learning.
+	UtilityCurve []float64
+	// UtilityObservations counts the cache outcomes the curve was fit
+	// from (0 without learning).
+	UtilityObservations int
 }

@@ -74,6 +74,7 @@ type Scheduler struct {
 	byCoord    map[tile.Coord]map[*entry]struct{} // queued entries by coordinate
 	inflight   map[tile.Coord]*flight
 	delivering int // completed fetches whose Deliver callbacks still run
+	active     int // sessions with queued > 0, maintained on 0<->1 transitions
 	seq        uint64
 	closed     bool
 
@@ -158,7 +159,12 @@ func (s *Scheduler) Submit(session string, reqs []Request) int {
 			if shed == nil {
 				shed = s.buildShedHeapLocked(now)
 			}
-			u := decayedUtility(reqs[i].Score, 0, s.cfg.DecayHalfLife, sq.queued)
+			// The newcomer's admission utility is priced at the position it
+			// will occupy: sq.queued entries sit ahead of it, so its
+			// 0-indexed rank is sq.queued. (After the heap.Push below the
+			// same rank reads sq.queued-1 — the counter has incremented by
+			// then; the two sites price the same position.)
+			u := decayedUtilityFactor(reqs[i].Score, 0, s.cfg.DecayHalfLife, s.cfg.positionFactor(sq.queued))
 			if !s.shedLowestBelowLocked(shed, u) {
 				s.stats.Dropped++
 				continue
@@ -167,15 +173,21 @@ func (s *Scheduler) Submit(session string, reqs []Request) int {
 		s.seq++
 		e := &entry{req: reqs[i], session: session, seq: s.seq, enqueued: now}
 		heap.Push(&sq.pending, e)
-		sq.queued++
+		s.addQueuedLocked(sq, 1)
 		s.stats.Pending++
 		if s.stats.Pending > s.stats.PeakPending {
 			s.stats.PeakPending = s.stats.Pending
 		}
 		if shed != nil {
 			// This batch's own entries compete too: a tiny global budget
-			// must keep only the batch's best.
-			heap.Push(shed, shedCand{e: e, util: decayedUtility(e.req.Score, 0, s.cfg.DecayHalfLife, sq.queued-1)})
+			// must keep only the batch's best. sq.queued-1 is this entry's
+			// 0-indexed rank (the counter was just incremented), the same
+			// position the admission check above priced it at. Because the
+			// batch is processed in descending score order and position
+			// factors are non-increasing, a later same-batch entry can
+			// never outrank an earlier one — these candidates only ever
+			// lose fights, they are here so the accounting stays exact.
+			heap.Push(shed, shedCand{e: e, util: decayedUtilityFactor(e.req.Score, 0, s.cfg.DecayHalfLife, s.cfg.positionFactor(sq.queued-1))})
 		}
 		set := s.byCoord[e.req.Coord]
 		if set == nil {
@@ -275,13 +287,35 @@ func (s *Scheduler) Stats() Stats {
 	st.Sessions = len(s.sessions)
 	st.Pressure = s.pressureLocked()
 	st.QueueDepths = make(map[string]int, len(s.sessions))
+	st.SessionPressures = make(map[string]float64, len(s.sessions))
+	active := s.active
 	for id, sq := range s.sessions {
 		st.QueueDepths[id] = sq.queued
+		st.SessionPressures[id] = s.sessionPressureLocked(id, active)
 	}
 	if s.measured > 0 {
 		st.AvgQueueLatency = s.queueLatency / time.Duration(s.measured)
 	}
+	if s.cfg.Utility != nil {
+		st.UtilityCurve = s.cfg.Utility.Curve()
+		st.UtilityObservations = s.cfg.Utility.Observations()
+	}
 	return st
+}
+
+// addQueuedLocked adjusts a session's live-entry count, maintaining the
+// scheduler's count of sessions with queued work (the fair-share N) on
+// 0<->1 transitions so SessionPressure never scans the session table on
+// the request hot path.
+func (s *Scheduler) addQueuedLocked(sq *sessionQueue, delta int) {
+	before := sq.queued
+	sq.queued += delta
+	switch {
+	case before == 0 && sq.queued > 0:
+		s.active++
+	case before > 0 && sq.queued == 0:
+		s.active--
+	}
 }
 
 // cancelQueuedLocked marks all of sq's queued entries cancelled. It wakes
@@ -299,7 +333,7 @@ func (s *Scheduler) cancelQueuedLocked(sq *sessionQueue) {
 		}
 	}
 	sq.pending = sq.pending[:0]
-	sq.queued = 0
+	s.addQueuedLocked(sq, -sq.queued)
 	if cancelled {
 		s.idle.Broadcast()
 	}
@@ -344,7 +378,7 @@ func (s *Scheduler) popNextLocked() *entry {
 		}
 		s.rrPos++
 		e.state = stateDone
-		sq.queued--
+		s.addQueuedLocked(sq, -1)
 		s.detachLocked(e)
 		return e
 	}
@@ -385,7 +419,7 @@ func (s *Scheduler) worker() {
 		// serves them all.
 		for dup := range s.byCoord[coord] {
 			dup.state = stateDone
-			s.sessions[dup.session].queued--
+			s.addQueuedLocked(s.sessions[dup.session], -1)
 			fl.waiters = append(fl.waiters, dup.req)
 			s.accountLatencyLocked(dup, now)
 			s.stats.Coalesced++

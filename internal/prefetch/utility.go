@@ -7,27 +7,49 @@ import (
 	"time"
 )
 
-// positionBase is the per-position diminishing-returns factor: the entry
-// ranked r within its session's batch keeps positionBase^r of its score.
-// The front-runner of a short batch therefore outranks the speculative tail
-// of a long one at equal model confidence (Khameleon's insight that a
-// prefetch plan's later items are progressively less likely to be consumed
-// before the user moves again).
+// positionBase is the default per-position diminishing-returns factor: the
+// entry ranked r within its session's batch keeps positionBase^r of its
+// score. The front-runner of a short batch therefore outranks the
+// speculative tail of a long one at equal model confidence (Khameleon's
+// insight that a prefetch plan's later items are progressively less likely
+// to be consumed before the user moves again). Deployments with utility
+// learning replace this constant with the curve a FeedbackCollector fits
+// from observed cache outcomes (Config.Utility).
 const positionBase = 0.85
 
-// decayedUtility is the admission-control currency: score discounted
-// exponentially by queue age (halving every halfLife) and by the entry's
-// rank pos within its session. Scores may be negative (the SB recommender
-// ranks by negated distance), so the discount always pushes utility
-// downward: positive scores shrink toward zero, negative scores grow more
-// negative.
+// positionFactor returns the position-decay factor the scheduler applies
+// at batch rank pos: the learned curve when a FeedbackCollector is
+// configured, positionBase^pos otherwise.
+func (c Config) positionFactor(pos int) float64 {
+	if pos <= 0 {
+		return 1
+	}
+	if c.Utility != nil {
+		return c.Utility.Factor(pos)
+	}
+	return math.Pow(positionBase, float64(pos))
+}
+
+// decayedUtility is the admission-control currency with the static default
+// curve; see decayedUtilityFactor.
 func decayedUtility(score float64, age, halfLife time.Duration, pos int) float64 {
 	f := 1.0
-	if halfLife > 0 && age > 0 {
-		f = math.Exp2(-float64(age) / float64(halfLife))
-	}
 	if pos > 0 {
-		f *= math.Pow(positionBase, float64(pos))
+		f = math.Pow(positionBase, float64(pos))
+	}
+	return decayedUtilityFactor(score, age, halfLife, f)
+}
+
+// decayedUtilityFactor is the admission-control currency: score discounted
+// exponentially by queue age (halving every halfLife) and by the entry's
+// position factor (the static base^pos or the learned curve's value at its
+// rank). Scores may be negative (the SB recommender ranks by negated
+// distance), so the discount always pushes utility downward: positive
+// scores shrink toward zero, negative scores grow more negative.
+func decayedUtilityFactor(score float64, age, halfLife time.Duration, posFactor float64) float64 {
+	f := posFactor
+	if halfLife > 0 && age > 0 {
+		f *= math.Exp2(-float64(age) / float64(halfLife))
 	}
 	if score < 0 {
 		return score / f
@@ -90,7 +112,7 @@ func (s *Scheduler) buildShedHeapLocked(now time.Time) *shedHeap {
 		for pos, e := range live {
 			h = append(h, shedCand{
 				e:    e,
-				util: decayedUtility(e.req.Score, now.Sub(e.enqueued), s.cfg.DecayHalfLife, pos),
+				util: decayedUtilityFactor(e.req.Score, now.Sub(e.enqueued), s.cfg.DecayHalfLife, s.cfg.positionFactor(pos)),
 			})
 		}
 	}
@@ -113,32 +135,10 @@ func (s *Scheduler) shedLowestBelowLocked(h *shedHeap, u float64) bool {
 		victim := heap.Pop(h).(shedCand).e
 		victim.state = stateDone
 		s.detachLocked(victim)
-		s.sessions[victim.session].queued--
+		s.addQueuedLocked(s.sessions[victim.session], -1)
 		s.stats.Shed++
 		s.stats.Pending--
 		return true
 	}
 	return false
-}
-
-// Pressure reports the global queue's saturation in [0, 1]: how full the
-// GlobalQueue budget is right now. It is the scheduler→engine backpressure
-// signal: engines built with core.WithAdaptiveK shrink their prefetch
-// budget K as pressure rises and restore it when the queue drains. Without
-// a global budget the signal is always 0.
-func (s *Scheduler) Pressure() float64 {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.pressureLocked()
-}
-
-func (s *Scheduler) pressureLocked() float64 {
-	if s.cfg.GlobalQueue <= 0 {
-		return 0
-	}
-	p := float64(s.stats.Pending) / float64(s.cfg.GlobalQueue)
-	if p > 1 {
-		p = 1
-	}
-	return p
 }

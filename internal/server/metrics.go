@@ -1,0 +1,175 @@
+package server
+
+import (
+	"fmt"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+
+	"forecache/internal/core"
+)
+
+// This file implements the dependency-free Prometheus text-format
+// /metrics endpoint (enabled with WithMetrics): the operability surface
+// Kyrix argues production-scale interactive viz needs. It exposes the
+// whole closed scheduling loop — queue/shed/coalesce counters, global and
+// per-session backpressure, aggregate cache hit rates, and the learned
+// position-utility curve — in the exposition format every Prometheus
+// scraper understands (version 0.0.4), without importing a client
+// library.
+
+// promContentType is the Prometheus text exposition content type.
+const promContentType = "text/plain; version=0.0.4; charset=utf-8"
+
+// promWriter accumulates one exposition payload. Metric families are
+// written atomically: HELP, TYPE, then every sample of the family.
+type promWriter struct {
+	b strings.Builder
+}
+
+// escapeLabel escapes a label value per the exposition format: backslash,
+// double quote and newline.
+func escapeLabel(v string) string {
+	v = strings.ReplaceAll(v, `\`, `\\`)
+	v = strings.ReplaceAll(v, "\n", `\n`)
+	v = strings.ReplaceAll(v, `"`, `\"`)
+	return v
+}
+
+// formatValue renders a sample value; Prometheus accepts Go's shortest
+// float representation (and +Inf/-Inf/NaN spellings).
+func formatValue(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// sample is one labeled measurement within a family.
+type sample struct {
+	labels string // pre-rendered {k="v",...}, or ""
+	value  float64
+}
+
+// labels renders a label set in deterministic (sorted) order.
+func labels(kv map[string]string) string {
+	if len(kv) == 0 {
+		return ""
+	}
+	keys := make([]string, 0, len(kv))
+	for k := range kv {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	parts := make([]string, len(keys))
+	for i, k := range keys {
+		parts[i] = fmt.Sprintf(`%s="%s"`, k, escapeLabel(kv[k]))
+	}
+	return "{" + strings.Join(parts, ",") + "}"
+}
+
+// family writes one metric family: help/type header plus samples.
+func (w *promWriter) family(name, help, typ string, samples ...sample) {
+	fmt.Fprintf(&w.b, "# HELP %s %s\n", name, help)
+	fmt.Fprintf(&w.b, "# TYPE %s %s\n", name, typ)
+	for _, s := range samples {
+		fmt.Fprintf(&w.b, "%s%s %s\n", name, s.labels, formatValue(s.value))
+	}
+}
+
+func (w *promWriter) gauge(name, help string, v float64) {
+	w.family(name, help, "gauge", sample{value: v})
+}
+func (w *promWriter) counter(name, help string, v float64) {
+	w.family(name, help, "counter", sample{value: v})
+}
+
+// handleMetrics renders the exposition payload. Server-side fields are
+// snapshotted under one hold of the server lock, engine cache stats are
+// read outside it (each engine locks only its own cache), and the
+// scheduler contributes its internally-consistent Stats snapshot.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	sessions := len(s.sessions)
+	evicted := s.evicted
+	closed := s.closed
+	agg := s.retired // departed sessions' totals: keeps the counters monotone
+	engines := make([]*core.Engine, 0, len(s.sessions))
+	for _, sess := range s.sessions {
+		engines = append(engines, sess.eng)
+	}
+	s.mu.Unlock()
+
+	for _, eng := range engines {
+		cs := eng.CacheStats()
+		agg.Hits += cs.Hits
+		agg.Misses += cs.Misses
+		agg.Prefetched += cs.Prefetched
+		agg.Evicted += cs.Evicted
+	}
+
+	pw := &promWriter{}
+	pw.gauge("forecache_sessions", "Live sessions with engine state.", float64(sessions))
+	pw.counter("forecache_sessions_evicted_total", "Sessions evicted by the TTL or LRU cap.", float64(evicted))
+	pw.gauge("forecache_server_closed", "1 after Close, 0 while serving.", boolValue(closed))
+
+	pw.counter("forecache_cache_hits_total", "Tile requests served from a middleware cache, summed over all sessions ever (live and retired).", float64(agg.Hits))
+	pw.counter("forecache_cache_misses_total", "Tile requests that fell through to the DBMS, summed over all sessions ever.", float64(agg.Misses))
+	pw.counter("forecache_cache_prefetched_total", "Tiles inserted into prediction regions, summed over all sessions ever.", float64(agg.Prefetched))
+	pw.counter("forecache_cache_evicted_total", "Tiles evicted from session caches, summed over all sessions ever.", float64(agg.Evicted))
+	pw.gauge("forecache_cache_hit_ratio", "Lifetime cache hit rate (prediction accuracy, paper 5.2.2).", agg.HitRate())
+
+	if s.sched != nil {
+		st := s.sched.Stats()
+		pw.counter("forecache_prefetch_queued_total", "Prefetch entries accepted into the scheduler queue.", float64(st.Queued))
+		pw.counter("forecache_prefetch_dropped_total", "Prefetch entries rejected at submission.", float64(st.Dropped))
+		pw.counter("forecache_prefetch_shed_total", "Queued entries evicted by global admission control.", float64(st.Shed))
+		pw.counter("forecache_prefetch_cancelled_total", "Queued entries superseded by a newer batch or session eviction.", float64(st.Cancelled))
+		pw.counter("forecache_prefetch_coalesced_total", "Entries that shared another entry's DBMS fetch (single-flight).", float64(st.Coalesced))
+		pw.counter("forecache_prefetch_completed_total", "Entries whose tile was fetched and delivered.", float64(st.Completed))
+		pw.counter("forecache_prefetch_errors_total", "Entries whose DBMS fetch failed.", float64(st.Errors))
+		pw.gauge("forecache_prefetch_pending", "Entries queued right now across all sessions.", float64(st.Pending))
+		pw.gauge("forecache_prefetch_peak_pending", "High-water mark of the pending queue.", float64(st.PeakPending))
+		pw.gauge("forecache_prefetch_inflight", "DBMS fetches running right now.", float64(st.Inflight))
+		pw.gauge("forecache_prefetch_pressure", "Global queue saturation in [0,1]; AdaptiveK engines shrink on it.", st.Pressure)
+		pw.gauge("forecache_prefetch_queue_latency_seconds", "Mean time entries spent queued before their fetch was issued.", st.AvgQueueLatency.Seconds())
+
+		depthSamples := make([]sample, 0, len(st.QueueDepths))
+		pressureSamples := make([]sample, 0, len(st.SessionPressures))
+		ids := make([]string, 0, len(st.QueueDepths))
+		for id := range st.QueueDepths {
+			ids = append(ids, id)
+		}
+		sort.Strings(ids)
+		for _, id := range ids {
+			l := labels(map[string]string{"session": id})
+			depthSamples = append(depthSamples, sample{labels: l, value: float64(st.QueueDepths[id])})
+			pressureSamples = append(pressureSamples, sample{labels: l, value: st.SessionPressures[id]})
+		}
+		pw.family("forecache_prefetch_session_queue_depth", "Live queued entries per session.", "gauge", depthSamples...)
+		pw.family("forecache_prefetch_session_pressure", "Per-session fair-share backpressure in [0,1]; FairShare engines shrink on it.", "gauge", pressureSamples...)
+
+		if st.UtilityCurve != nil {
+			curveSamples := make([]sample, len(st.UtilityCurve))
+			for pos, f := range st.UtilityCurve {
+				curveSamples[pos] = sample{
+					labels: labels(map[string]string{"position": strconv.Itoa(pos)}),
+					value:  f,
+				}
+			}
+			pw.family("forecache_utility_position_factor",
+				"Effective position-decay curve: learned consumption rate of each batch position relative to position 0 (static 0.85^p until warmed up).",
+				"gauge", curveSamples...)
+			pw.counter("forecache_utility_observations_total", "Cache outcomes the utility curve was fit from.", float64(st.UtilityObservations))
+		}
+	}
+
+	w.Header().Set("Content-Type", promContentType)
+	w.WriteHeader(http.StatusOK)
+	_, _ = fmt.Fprint(w, pw.b.String())
+}
+
+func boolValue(b bool) float64 {
+	if b {
+		return 1
+	}
+	return 0
+}

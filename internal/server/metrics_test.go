@@ -1,0 +1,345 @@
+package server
+
+import (
+	"fmt"
+	"math"
+	"net/http/httptest"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+
+	"forecache/internal/backend"
+	"forecache/internal/core"
+	"forecache/internal/prefetch"
+	"forecache/internal/recommend"
+)
+
+var (
+	metricNameRe = regexp.MustCompile(`^[a-zA-Z_:][a-zA-Z0-9_:]*$`)
+	labelNameRe  = regexp.MustCompile(`^[a-zA-Z_][a-zA-Z0-9_]*$`)
+)
+
+// splitSample parses a sample line into name, label block and value,
+// walking the optional label block quote-aware (label VALUES may contain
+// '{', '}', spaces — anything escaped per the exposition format).
+func splitSample(line string) (name, labelBlock, rawValue string, ok bool) {
+	i := strings.IndexAny(line, "{ ")
+	if i < 0 {
+		return "", "", "", false
+	}
+	name = line[:i]
+	rest := line[i:]
+	if rest[0] == '{' {
+		inQuotes, escaped := false, false
+		end := -1
+		for j := 1; j < len(rest); j++ {
+			c := rest[j]
+			switch {
+			case escaped:
+				escaped = false
+			case c == '\\' && inQuotes:
+				escaped = true
+			case c == '"':
+				inQuotes = !inQuotes
+			case c == '}' && !inQuotes:
+				end = j
+			}
+			if end >= 0 {
+				break
+			}
+		}
+		if end < 0 {
+			return "", "", "", false
+		}
+		labelBlock = rest[:end+1]
+		rest = rest[end+1:]
+	}
+	if len(rest) < 2 || rest[0] != ' ' {
+		return "", "", "", false
+	}
+	rawValue = rest[1:]
+	if rawValue == "" || strings.ContainsAny(rawValue, " \t") {
+		return "", "", "", false
+	}
+	return name, labelBlock, rawValue, true
+}
+
+// validatePromText is a strict Prometheus text-format (version 0.0.4)
+// validator: every sample must parse, carry a valid metric name, follow a
+// TYPE declaration for its family, use valid label names and properly
+// quoted label values, and families must not repeat.
+func validatePromText(t *testing.T, body string) map[string]float64 {
+	t.Helper()
+	types := map[string]string{}
+	values := map[string]float64{}
+	var lastFamily string
+	for ln, line := range strings.Split(strings.TrimRight(body, "\n"), "\n") {
+		lineNo := ln + 1
+		if line == "" {
+			t.Fatalf("line %d: empty line in exposition body", lineNo)
+		}
+		if strings.HasPrefix(line, "# HELP ") {
+			rest := strings.TrimPrefix(line, "# HELP ")
+			name, _, ok := strings.Cut(rest, " ")
+			if !ok || !metricNameRe.MatchString(name) {
+				t.Fatalf("line %d: malformed HELP: %q", lineNo, line)
+			}
+			if _, seen := types[name]; seen {
+				t.Fatalf("line %d: family %s declared twice", lineNo, name)
+			}
+			lastFamily = name
+			continue
+		}
+		if strings.HasPrefix(line, "# TYPE ") {
+			fields := strings.Fields(strings.TrimPrefix(line, "# TYPE "))
+			if len(fields) != 2 || !metricNameRe.MatchString(fields[0]) {
+				t.Fatalf("line %d: malformed TYPE: %q", lineNo, line)
+			}
+			if fields[1] != "counter" && fields[1] != "gauge" && fields[1] != "histogram" && fields[1] != "summary" && fields[1] != "untyped" {
+				t.Fatalf("line %d: invalid type %q", lineNo, fields[1])
+			}
+			if fields[0] != lastFamily {
+				t.Fatalf("line %d: TYPE for %s does not follow its HELP (%s)", lineNo, fields[0], lastFamily)
+			}
+			types[fields[0]] = fields[1]
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			continue // comment
+		}
+		name, labelBlock, rawValue, ok := splitSample(line)
+		if !ok || !metricNameRe.MatchString(name) {
+			t.Fatalf("line %d: unparseable sample: %q", lineNo, line)
+		}
+		if _, ok := types[name]; !ok {
+			t.Fatalf("line %d: sample %s precedes its TYPE declaration", lineNo, name)
+		}
+		v, err := strconv.ParseFloat(rawValue, 64)
+		if err != nil {
+			t.Fatalf("line %d: bad value %q: %v", lineNo, rawValue, err)
+		}
+		if math.IsNaN(v) {
+			t.Fatalf("line %d: NaN value for %s", lineNo, name)
+		}
+		if types[name] == "counter" && v < 0 {
+			t.Fatalf("line %d: negative counter %s = %v", lineNo, name, v)
+		}
+		if labelBlock != "" {
+			inner := strings.TrimSuffix(strings.TrimPrefix(labelBlock, "{"), "}")
+			for _, pair := range splitLabelPairs(t, inner, lineNo) {
+				k, quoted, ok := strings.Cut(pair, "=")
+				if !ok || !labelNameRe.MatchString(k) {
+					t.Fatalf("line %d: bad label pair %q", lineNo, pair)
+				}
+				if len(quoted) < 2 || quoted[0] != '"' || quoted[len(quoted)-1] != '"' {
+					t.Fatalf("line %d: unquoted label value %q", lineNo, quoted)
+				}
+				if _, err := strconv.Unquote(quoted); err != nil {
+					t.Fatalf("line %d: unescaped label value %q: %v", lineNo, quoted, err)
+				}
+			}
+		}
+		values[name+labelBlock] = v
+	}
+	return values
+}
+
+// splitLabelPairs splits `k="v",k2="v2"` respecting escaped quotes.
+func splitLabelPairs(t *testing.T, s string, lineNo int) []string {
+	t.Helper()
+	var pairs []string
+	var cur strings.Builder
+	inQuotes, escaped := false, false
+	for _, r := range s {
+		switch {
+		case escaped:
+			escaped = false
+			cur.WriteRune(r)
+		case r == '\\' && inQuotes:
+			escaped = true
+			cur.WriteRune(r)
+		case r == '"':
+			inQuotes = !inQuotes
+			cur.WriteRune(r)
+		case r == ',' && !inQuotes:
+			pairs = append(pairs, cur.String())
+			cur.Reset()
+		default:
+			cur.WriteRune(r)
+		}
+	}
+	if inQuotes {
+		t.Fatalf("line %d: unterminated label quote in %q", lineNo, s)
+	}
+	if cur.Len() > 0 {
+		pairs = append(pairs, cur.String())
+	}
+	return pairs
+}
+
+// metricsServer builds a server with an attached scheduler whose admission
+// control uses a (cold) learned utility curve.
+func metricsServer(t *testing.T) (*Server, *prefetch.Scheduler) {
+	t.Helper()
+	pyr := testPyramid(t)
+	db := backend.NewDBMS(pyr, backend.DefaultLatency(), nil)
+	fc := prefetch.NewFeedbackCollector(4)
+	sched := prefetch.NewScheduler(db, prefetch.Config{
+		Workers: 2, QueuePerSession: 8, GlobalQueue: 16, Utility: fc,
+	})
+	factory := func(session string) (*core.Engine, error) {
+		m := recommend.NewMomentum()
+		return core.NewEngine(db, nil, core.SinglePolicy{Model: m.Name()},
+			[]recommend.Model{m}, core.Config{K: 4},
+			core.WithScheduler(sched, session), core.WithFeedback(fc))
+	}
+	srv := New(Meta{Levels: pyr.NumLevels(), TileSize: pyr.TileSize(), Attrs: pyr.Attrs()},
+		factory, WithScheduler(sched), WithMetrics())
+	t.Cleanup(srv.Close)
+	return srv, sched
+}
+
+func TestMetricsEndpointValidates(t *testing.T) {
+	srv, sched := metricsServer(t)
+	// Create sessions, including one with a hostile id for label escaping.
+	for _, id := range []string{"alice", "bob", `ev"il\ses` + "\nsion`}"} {
+		rec := httptest.NewRecorder()
+		srv.ServeHTTP(rec, httptest.NewRequest("GET", "/tile?level=0&y=0&x=0&session="+escapeQuery(id), nil))
+		if rec.Code != 200 {
+			t.Fatalf("tile request for %q: %d %s", id, rec.Code, rec.Body)
+		}
+	}
+	sched.Drain()
+
+	rec := httptest.NewRecorder()
+	srv.ServeHTTP(rec, httptest.NewRequest("GET", "/metrics", nil))
+	if rec.Code != 200 {
+		t.Fatalf("/metrics: %d", rec.Code)
+	}
+	if ct := rec.Header().Get("Content-Type"); !strings.Contains(ct, "version=0.0.4") {
+		t.Errorf("Content-Type = %q, want the 0.0.4 exposition type", ct)
+	}
+	values := validatePromText(t, rec.Body.String())
+
+	if values["forecache_sessions"] != 3 {
+		t.Errorf("forecache_sessions = %v, want 3", values["forecache_sessions"])
+	}
+	for _, want := range []string{
+		"forecache_cache_hits_total",
+		"forecache_cache_misses_total",
+		"forecache_cache_hit_ratio",
+		"forecache_prefetch_queued_total",
+		"forecache_prefetch_pressure",
+		"forecache_utility_observations_total",
+	} {
+		if _, ok := values[want]; !ok {
+			t.Errorf("missing metric %s", want)
+		}
+	}
+	// Per-session families carry one sample per live session.
+	depths, pressures, curvePoints := 0, 0, 0
+	for k := range values {
+		switch {
+		case strings.HasPrefix(k, "forecache_prefetch_session_queue_depth{"):
+			depths++
+		case strings.HasPrefix(k, "forecache_prefetch_session_pressure{"):
+			pressures++
+		case strings.HasPrefix(k, "forecache_utility_position_factor{"):
+			curvePoints++
+		}
+	}
+	if depths != 3 || pressures != 3 {
+		t.Errorf("per-session samples: %d depths, %d pressures, want 3 each", depths, pressures)
+	}
+	if curvePoints != 4 {
+		t.Errorf("utility curve samples = %d, want 4 (collector positions)", curvePoints)
+	}
+	// The cold curve is the static base^p, exported per position.
+	if got := values[`forecache_utility_position_factor{position="1"}`]; math.Abs(got-0.85) > 1e-9 {
+		t.Errorf("cold curve position 1 = %v, want 0.85", got)
+	}
+}
+
+// TestMetricsCountersSurviveEviction: the *_total cache counters are
+// lifetime totals — evicting a session folds its counts into the retired
+// baseline instead of making a Prometheus counter go backwards.
+func TestMetricsCountersSurviveEviction(t *testing.T) {
+	srv, _ := testServer(t, WithMetrics(), WithSessionLimit(1))
+	get := func(path string) *httptest.ResponseRecorder {
+		rec := httptest.NewRecorder()
+		srv.ServeHTTP(rec, httptest.NewRequest("GET", path, nil))
+		return rec
+	}
+	// Session a accumulates one miss (and prefetches).
+	if rec := get("/tile?level=0&y=0&x=0&session=a"); rec.Code != 200 {
+		t.Fatalf("tile: %d", rec.Code)
+	}
+	before := validatePromText(t, get("/metrics").Body.String())
+	if before["forecache_cache_misses_total"] < 1 {
+		t.Fatalf("expected at least one miss before eviction, got %v", before["forecache_cache_misses_total"])
+	}
+	// Session b evicts a (limit 1). The totals must not decrease.
+	if rec := get("/tile?level=0&y=0&x=0&session=b"); rec.Code != 200 {
+		t.Fatalf("tile: %d", rec.Code)
+	}
+	after := validatePromText(t, get("/metrics").Body.String())
+	if after["forecache_sessions_evicted_total"] != 1 {
+		t.Fatalf("evicted = %v, want 1", after["forecache_sessions_evicted_total"])
+	}
+	for _, name := range []string{
+		"forecache_cache_hits_total", "forecache_cache_misses_total",
+		"forecache_cache_prefetched_total", "forecache_cache_evicted_total",
+	} {
+		if after[name] < before[name] {
+			t.Errorf("%s went backwards across eviction: %v -> %v", name, before[name], after[name])
+		}
+	}
+	if after["forecache_cache_misses_total"] < before["forecache_cache_misses_total"]+1 {
+		t.Errorf("misses_total = %v, want >= %v (b's first miss on top of a's retired count)",
+			after["forecache_cache_misses_total"], before["forecache_cache_misses_total"]+1)
+	}
+}
+
+func TestMetricsAbsentWithoutOption(t *testing.T) {
+	srv, _ := testServer(t)
+	rec := httptest.NewRecorder()
+	srv.ServeHTTP(rec, httptest.NewRequest("GET", "/metrics", nil))
+	if rec.Code != 404 {
+		t.Errorf("/metrics without WithMetrics = %d, want 404", rec.Code)
+	}
+}
+
+func TestMetricsAnswersAfterClose(t *testing.T) {
+	srv, _ := metricsServer(t)
+	rec := httptest.NewRecorder()
+	srv.ServeHTTP(rec, httptest.NewRequest("GET", "/tile?level=0&y=0&x=0", nil))
+	if rec.Code != 200 {
+		t.Fatalf("tile: %d", rec.Code)
+	}
+	srv.Close()
+	rec = httptest.NewRecorder()
+	srv.ServeHTTP(rec, httptest.NewRequest("GET", "/metrics", nil))
+	if rec.Code != 200 {
+		t.Fatalf("/metrics after Close = %d, want 200 (operability survives shutdown)", rec.Code)
+	}
+	values := validatePromText(t, rec.Body.String())
+	if values["forecache_server_closed"] != 1 {
+		t.Errorf("forecache_server_closed = %v after Close, want 1", values["forecache_server_closed"])
+	}
+	if values["forecache_sessions"] != 0 {
+		t.Errorf("forecache_sessions = %v after Close, want 0", values["forecache_sessions"])
+	}
+}
+
+func escapeQuery(s string) string {
+	var b strings.Builder
+	for _, r := range []byte(s) {
+		if ('a' <= r && r <= 'z') || ('A' <= r && r <= 'Z') || ('0' <= r && r <= '9') {
+			b.WriteByte(r)
+		} else {
+			fmt.Fprintf(&b, "%%%02X", r)
+		}
+	}
+	return b.String()
+}

@@ -5,7 +5,10 @@
 // an idle TTL evict stale sessions so long-running deployments don't leak
 // one engine per session id forever. When the deployment routes prefetching
 // through a shared prefetch.Scheduler, the server surfaces its stats and
-// cancels an evicted session's queued fetches.
+// cancels an evicted session's queued fetches; WithMetrics additionally
+// exposes the full scheduling loop (counters, per-session backpressure,
+// cache hit rates, the learned utility curve) as Prometheus text under
+// GET /metrics.
 package server
 
 import (
@@ -62,6 +65,14 @@ func WithScheduler(sched *prefetch.Scheduler) Option {
 	return func(s *Server) { s.sched = sched }
 }
 
+// WithMetrics registers a dependency-free Prometheus text-format GET
+// /metrics endpoint exposing server, cache and prefetch-pipeline telemetry
+// (including per-session backpressure and the learned utility curve when
+// the deployment has them).
+func WithMetrics() Option {
+	return func(s *Server) { s.metrics = true }
+}
+
 // session is one live engine plus its eviction bookkeeping.
 type session struct {
 	id       string
@@ -77,6 +88,7 @@ type Server struct {
 	factory     EngineFactory
 	mux         *http.ServeMux
 	sched       *prefetch.Scheduler
+	metrics     bool
 	maxSessions int
 	ttl         time.Duration
 	now         func() time.Time // test hook
@@ -85,7 +97,12 @@ type Server struct {
 	sessions map[string]*session
 	recency  *list.List // of *session, front = most recently used
 	evicted  int
-	closed   bool
+	// retired accumulates the cache counters of sessions that left the
+	// table (eviction or Close), so the /metrics cache counters are
+	// monotone over the server's lifetime — a Prometheus counter must
+	// never decrease just because a session aged out.
+	retired cache.Stats
+	closed  bool
 }
 
 // New builds a server for a pyramid-backed middleware.
@@ -105,6 +122,9 @@ func New(meta Meta, factory EngineFactory, opts ...Option) *Server {
 	s.mux.HandleFunc("GET /tile", s.handleTile)
 	s.mux.HandleFunc("GET /stats", s.handleStats)
 	s.mux.HandleFunc("POST /reset", s.handleReset)
+	if s.metrics {
+		s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	}
 	return s
 }
 
@@ -130,6 +150,7 @@ func (s *Server) Close() {
 	closing := make([]*session, 0, len(s.sessions))
 	for _, sess := range s.sessions {
 		closing = append(closing, sess)
+		s.retireStatsLocked(sess)
 	}
 	s.sessions = make(map[string]*session)
 	s.recency.Init()
@@ -246,7 +267,20 @@ func (s *Server) evictLocked(sess *session) *session {
 	s.recency.Remove(sess.el)
 	delete(s.sessions, sess.id)
 	s.evicted++
+	s.retireStatsLocked(sess)
 	return sess
+}
+
+// retireStatsLocked folds a departing session's cache counters into the
+// server's lifetime totals. Reading the engine's cache stats under the
+// server lock is safe: the cache mutex is a leaf lock, never held while
+// acquiring s.mu.
+func (s *Server) retireStatsLocked(sess *session) {
+	cs := sess.eng.CacheStats()
+	s.retired.Hits += cs.Hits
+	s.retired.Misses += cs.Misses
+	s.retired.Prefetched += cs.Prefetched
+	s.retired.Evicted += cs.Evicted
 }
 
 // releaseSessions finishes evictions outside the server lock: the engine is
