@@ -65,7 +65,8 @@ subcommands:
   tracegen  -seed -size -tile -out        simulate the study, save traces
   serve     -seed -size -tile -addr -k [-async] [-prefetch-workers]
             [-prefetch-queue] [-global-queue] [-decay-half-life]
-            [-adaptive-k] [-fair-share] [-utility-learning] [-metrics]
+            [-adaptive-k] [-fair-share] [-utility-learning]
+            [-adaptive-allocation] [-metrics]
             [-shared-tiles] [-max-sessions] [-session-ttl]
                                           run the HTTP middleware
   explore   -seed -size -tile -moves     walk a move script, print tiles
@@ -157,6 +158,7 @@ func cmdServe(args []string) error {
 	adaptiveK := fs.Bool("adaptive-k", true, "shrink per-session prefetch budget K under scheduler backpressure")
 	fairShare := fs.Bool("fair-share", true, "scope backpressure per session: the flooding session's K shrinks first (requires -adaptive-k)")
 	utilityLearning := fs.Bool("utility-learning", true, "learn the position-utility curve from observed cache outcomes instead of the static 0.85 decay")
+	adaptiveAllocation := fs.Bool("adaptive-allocation", true, "re-split the per-phase prefetch budget toward the model whose prefetches get consumed (static table as prior)")
 	metrics := fs.Bool("metrics", true, "expose Prometheus text-format telemetry under GET /metrics")
 	sharedTiles := fs.Int("shared-tiles", 512, "cross-session shared tile pool capacity (0 disables)")
 	maxSessions := fs.Int("max-sessions", 1024, "live session cap, LRU-evicted past it (0 = unlimited)")
@@ -170,25 +172,26 @@ func cmdServe(args []string) error {
 	}
 	traces := ds.SimulateStudy(wf.seed)
 	srv := ds.NewServer(traces, forecache.MiddlewareConfig{
-		K:                 *k,
-		AsyncPrefetch:     *async,
-		PrefetchWorkers:   *workers,
-		PrefetchQueue:     *queue,
-		GlobalQueueBudget: *globalQueue,
-		DecayHalfLife:     *decayHalfLife,
-		AdaptiveK:         *adaptiveK,
-		FairShare:         *fairShare,
-		UtilityLearning:   *utilityLearning,
-		MetricsEndpoint:   *metrics,
-		SharedTiles:       *sharedTiles,
-		MaxSessions:       *maxSessions,
-		SessionTTL:        *sessionTTL,
+		K:                  *k,
+		AsyncPrefetch:      *async,
+		PrefetchWorkers:    *workers,
+		PrefetchQueue:      *queue,
+		GlobalQueueBudget:  *globalQueue,
+		DecayHalfLife:      *decayHalfLife,
+		AdaptiveK:          *adaptiveK,
+		FairShare:          *fairShare,
+		UtilityLearning:    *utilityLearning,
+		AdaptiveAllocation: *adaptiveAllocation,
+		MetricsEndpoint:    *metrics,
+		SharedTiles:        *sharedTiles,
+		MaxSessions:        *maxSessions,
+		SessionTTL:         *sessionTTL,
 	})
 	defer srv.Close()
 	mode := "inline prefetch"
 	if *async {
-		mode = fmt.Sprintf("async prefetch: %d workers, queue %d/session, global budget %d, decay half-life %s, adaptive K %v, fair share %v, utility learning %v",
-			*workers, *queue, *globalQueue, *decayHalfLife, *adaptiveK, *fairShare, *utilityLearning)
+		mode = fmt.Sprintf("async prefetch: %d workers, queue %d/session, global budget %d, decay half-life %s, adaptive K %v, fair share %v, utility learning %v, adaptive allocation %v",
+			*workers, *queue, *globalQueue, *decayHalfLife, *adaptiveK, *fairShare, *utilityLearning, *adaptiveAllocation)
 	}
 	endpoints := "GET /meta, /tile?level=&y=&x=, /stats"
 	if *metrics {

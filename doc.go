@@ -33,10 +33,20 @@
 //     session's queue share exceeds its fair share 1/N so the flooding
 //     session's K collapses first. With UtilityLearning the cache
 //     attributes every prefetched tile's fate (consumed vs evicted
-//     unconsumed) to the model and batch position that prefetched it, and
-//     a shared FeedbackCollector fits the position-utility curve online
-//     from those outcomes (Khameleon-style), replacing the static 0.85
-//     position decay in admission control. NewServer wires one scheduler
+//     unconsumed) to the model, batch position and predicted analysis
+//     phase that prefetched it, and a shared FeedbackCollector fits the
+//     position-utility curve online from those outcomes
+//     (Khameleon-style), replacing the static 0.85 position decay in
+//     admission control. With AdaptiveAllocation the same outcomes drive
+//     the allocation strategy itself: a shared core.AdaptivePolicy
+//     re-splits each request's prefetch budget k per phase toward the
+//     model whose prefetches actually get consumed — the paper's fixed
+//     §5.4.3 table is the prior until a phase warms up, every model keeps
+//     a floor share for exploration, and hysteresis bounds how fast
+//     shares move, so the learned split converges instead of thrashing
+//     (the learned shares appear under /stats and as
+//     forecache_allocation_share{phase,model} gauges). NewServer wires
+//     one scheduler
 //     (plus an optional cross-session tile pool and bounded session table)
 //     across every session and trains the phase classifier and Markov
 //     chain exactly once, sharing the immutable artifacts with every

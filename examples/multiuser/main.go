@@ -12,9 +12,11 @@ package main
 
 import (
 	"bufio"
+	"encoding/json"
 	"fmt"
 	"log"
 	"net/http/httptest"
+	"sort"
 	"strings"
 	"sync"
 	"time"
@@ -32,18 +34,19 @@ func main() {
 	traces := ds.SimulateStudy(7)
 	const globalQueueBudget = 128 // queued prefetch entries across ALL sessions
 	srv := ds.NewServer(traces, forecache.MiddlewareConfig{
-		K:                 5,
-		AsyncPrefetch:     true, // submit-and-return prefetching
-		PrefetchWorkers:   4,    // concurrent DBMS fetch budget
-		GlobalQueueBudget: globalQueueBudget,
-		DecayHalfLife:     2 * time.Second,  // stale queued predictions lose utility
-		AdaptiveK:         true,             // engines shrink K under backpressure
-		FairShare:         true,             // ...the flooding session's K first
-		UtilityLearning:   true,             // fit the position curve from consumption
-		MetricsEndpoint:   true,             // Prometheus text under GET /metrics
-		SharedTiles:       256,              // cross-session tile pool
-		MaxSessions:       64,               // LRU session cap
-		SessionTTL:        30 * time.Minute, // idle sessions are evicted
+		K:                  5,
+		AsyncPrefetch:      true, // submit-and-return prefetching
+		PrefetchWorkers:    4,    // concurrent DBMS fetch budget
+		GlobalQueueBudget:  globalQueueBudget,
+		DecayHalfLife:      2 * time.Second,  // stale queued predictions lose utility
+		AdaptiveK:          true,             // engines shrink K under backpressure
+		FairShare:          true,             // ...the flooding session's K first
+		UtilityLearning:    true,             // fit the position curve from consumption
+		AdaptiveAllocation: true,             // budget share follows consumption per phase
+		MetricsEndpoint:    true,             // Prometheus text under GET /metrics
+		SharedTiles:        256,              // cross-session tile pool
+		MaxSessions:        64,               // LRU session cap
+		SessionTTL:         30 * time.Minute, // idle sessions are evicted
 	})
 	defer srv.Close()
 
@@ -124,6 +127,37 @@ func main() {
 		fmt.Printf(" p%d=%.2f", pos, f)
 	}
 	fmt.Println()
+
+	// The same outcomes also drive the adaptive allocation policy: the
+	// paper's fixed per-phase budget table is the prior, and each phase's
+	// split drifts toward the model whose prefetches the analysts actually
+	// consumed (scrapeable as forecache_allocation_share{phase,model}).
+	if resp, err := ts.Client().Get(ts.URL + "/stats"); err == nil {
+		var stats struct {
+			Allocation map[string]map[string]float64 `json:"allocation"`
+		}
+		if json.NewDecoder(resp.Body).Decode(&stats) == nil && len(stats.Allocation) > 0 {
+			phases := make([]string, 0, len(stats.Allocation))
+			for ph := range stats.Allocation {
+				phases = append(phases, ph)
+			}
+			sort.Strings(phases)
+			fmt.Println("allocation shares (prior = the paper's static table):")
+			for _, ph := range phases {
+				models := make([]string, 0, len(stats.Allocation[ph]))
+				for m := range stats.Allocation[ph] {
+					models = append(models, m)
+				}
+				sort.Strings(models)
+				fmt.Printf("  %-12s", ph)
+				for _, m := range models {
+					fmt.Printf(" %s=%.2f", m, stats.Allocation[ph][m])
+				}
+				fmt.Println()
+			}
+		}
+		resp.Body.Close()
+	}
 	if resp, err := ts.Client().Get(ts.URL + "/metrics"); err == nil {
 		defer resp.Body.Close()
 		sc := bufio.NewScanner(resp.Body)

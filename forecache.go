@@ -51,9 +51,13 @@ type (
 	// PrefetchStats snapshots scheduler activity (queued, coalesced,
 	// cancelled, completed, queue latency, ...).
 	PrefetchStats = prefetch.Stats
-	// FeedbackCollector fits the position-utility curve from observed
-	// cache outcomes (UtilityLearning).
+	// FeedbackCollector fits the position-utility curve and the
+	// per-(phase, model) consumption rates from observed cache outcomes
+	// (UtilityLearning, AdaptiveAllocation).
 	FeedbackCollector = prefetch.FeedbackCollector
+	// AdaptivePolicy re-splits the prefetch budget per phase from observed
+	// consumption (AdaptiveAllocation).
+	AdaptivePolicy = core.AdaptivePolicy
 )
 
 // Dataset bundles a built world: the array database, the NDSI array, the
@@ -202,17 +206,28 @@ type MiddlewareConfig struct {
 	FairShare bool
 	// UtilityLearning closes the prediction-quality loop: every session's
 	// cache attributes each prefetched tile's fate (consumed vs evicted
-	// unconsumed) to the model and batch position that prefetched it, a
-	// shared FeedbackCollector fits the position-utility curve from those
-	// outcomes online (EWMA hit rate by position), and the scheduler's
-	// admission control discounts queued entries by the learned curve
-	// instead of the static 0.85^position guess. The curve is exported
-	// under /stats and /metrics. Requires AsyncPrefetch.
+	// unconsumed) to the model, batch position and predicted phase that
+	// prefetched it, a shared FeedbackCollector fits the position-utility
+	// curve from those outcomes online (EWMA hit rate by position), and
+	// the scheduler's admission control discounts queued entries by the
+	// learned curve instead of the static 0.85^position guess. The curve
+	// is exported under /stats and /metrics. Requires AsyncPrefetch.
 	UtilityLearning bool
+	// AdaptiveAllocation closes the budget-allocation loop: the same
+	// per-(phase, model) consumption outcomes drive a shared
+	// core.AdaptivePolicy that re-splits each session's prefetch budget k
+	// per phase toward the model whose prefetches actually get consumed —
+	// the paper's fixed §5.4.3 table becomes the prior, every model keeps
+	// a floor share for exploration, and shares move with hysteresis so
+	// the split cannot thrash. The learned shares are exported under
+	// /stats ("allocation") and /metrics (forecache_allocation_share).
+	// Works with or without AsyncPrefetch (outcomes flow through the
+	// feedback loop in both modes); independent of UtilityLearning.
+	AdaptiveAllocation bool
 	// MetricsEndpoint registers a dependency-free Prometheus text-format
 	// GET /metrics endpoint on the server: scheduler counters, global and
-	// per-session backpressure, aggregate cache hit rates, and the learned
-	// utility curve.
+	// per-session backpressure, aggregate cache hit rates, the learned
+	// utility curve, and the adaptive allocation shares.
 	MetricsEndpoint bool
 	// SharedTiles > 0 wraps the server's DBMS in a cross-session
 	// backend.SharedPool of that many tiles, so popular tiles are fetched
@@ -315,14 +330,29 @@ func (d *Dataset) NewMiddleware(train []*trace.Trace, cfg MiddlewareConfig) (*co
 	return d.assembleEngine(db, tm, cfg)
 }
 
+// newSB builds the per-session Signature-Based recommender (its ROI
+// tracker is mutable, so unlike the AB model it cannot be shared).
+func (d *Dataset) newSB(cfg MiddlewareConfig) *recommend.SB {
+	return recommend.NewSB(d.Pyramid, recommend.WithSignatures(cfg.SBSignatures...))
+}
+
+// enginePolicy is the SINGLE construction site for the static per-session
+// allocation policy (the paper's §5.4.3 hybrid table) over the
+// deployment's model names. Session assembly and the AdaptivePolicy prior
+// both use it, so the learned split's prior and model list can never
+// diverge from the table the engines fall back to.
+func (d *Dataset) enginePolicy(tm *trainedModels, cfg MiddlewareConfig) core.HybridPolicy {
+	return core.NewHybridPolicy(tm.ab.Name(), d.newSB(cfg).Name())
+}
+
 // assembleEngine builds one two-level engine over an existing store and an
 // already-trained model bundle, so several sessions can share a DBMS
 // adapter, pool, scheduler, classifier and Markov chain. Only the cheap
 // per-session state is fresh: the SB recommender (its ROI tracker is
 // mutable), the cache manager and the history window.
 func (d *Dataset) assembleEngine(store backend.Store, tm *trainedModels, cfg MiddlewareConfig, opts ...core.Option) (*core.Engine, error) {
-	sb := recommend.NewSB(d.Pyramid, recommend.WithSignatures(cfg.SBSignatures...))
-	return core.NewEngine(store, tm.cls, core.NewHybridPolicy(tm.ab.Name(), sb.Name()),
+	sb := d.newSB(cfg)
+	return core.NewEngine(store, tm.cls, d.enginePolicy(tm, cfg),
 		[]recommend.Model{tm.ab, sb}, core.Config{K: cfg.K, D: cfg.D, HistoryLen: cfg.HistoryLen}, opts...)
 }
 
@@ -342,8 +372,10 @@ func (d *Dataset) assembleEngine(store backend.Store, tm *trainedModels, cfg Mid
 // DecayHalfLife; AdaptiveK closes the backpressure loop from its Pressure
 // signal back into each engine's prefetch budget (per-session with
 // FairShare), UtilityLearning closes the prediction-quality loop from
-// cache outcomes back into admission control, and MetricsEndpoint exposes
-// all of it as Prometheus text under GET /metrics.
+// cache outcomes back into admission control, AdaptiveAllocation closes
+// the budget-allocation loop from the same outcomes back into the
+// per-phase model split, and MetricsEndpoint exposes all of it as
+// Prometheus text under GET /metrics.
 func (d *Dataset) NewServer(train []*trace.Trace, cfg MiddlewareConfig) *server.Server {
 	cfg = cfg.withDefaults()
 	meta := server.Meta{
@@ -356,19 +388,26 @@ func (d *Dataset) NewServer(train []*trace.Trace, cfg MiddlewareConfig) *server.
 	if cfg.SharedTiles > 0 {
 		store = backend.NewSharedPool(db, cfg.SharedTiles)
 	}
+	// The feedback collector exists whenever some loop consumes outcomes:
+	// UtilityLearning prices scheduler admission with it (async only),
+	// AdaptiveAllocation re-splits the budget with it (either mode).
 	var sched *prefetch.Scheduler
 	var fc *prefetch.FeedbackCollector
 	var opts []server.Option
+	if (cfg.UtilityLearning && cfg.AsyncPrefetch) || cfg.AdaptiveAllocation {
+		fc = prefetch.NewFeedbackCollector(cfg.K)
+	}
 	if cfg.AsyncPrefetch {
+		var util *prefetch.FeedbackCollector
 		if cfg.UtilityLearning {
-			fc = prefetch.NewFeedbackCollector(cfg.K)
+			util = fc
 		}
 		sched = prefetch.NewScheduler(store, prefetch.Config{
 			Workers:         cfg.PrefetchWorkers,
 			QueuePerSession: cfg.PrefetchQueue,
 			GlobalQueue:     cfg.GlobalQueueBudget,
 			DecayHalfLife:   cfg.DecayHalfLife,
-			Utility:         fc,
+			Utility:         util,
 		})
 		opts = append(opts, server.WithScheduler(sched))
 	}
@@ -382,6 +421,23 @@ func (d *Dataset) NewServer(train []*trace.Trace, cfg MiddlewareConfig) *server.
 		opts = append(opts, server.WithSessionTTL(cfg.SessionTTL))
 	}
 	tm, trainErr := d.trainModels(train, cfg)
+	// One AdaptivePolicy is shared by every session engine, so the learned
+	// per-phase split reflects the whole deployment's traffic and the
+	// server can export it once (/stats, /metrics).
+	var adaptive *core.AdaptivePolicy
+	if cfg.AdaptiveAllocation && trainErr == nil {
+		base := d.enginePolicy(tm, cfg)
+		p, err := core.NewAdaptivePolicy(base,
+			[]string{base.ABName, base.SBName}, fc, core.AdaptiveConfig{})
+		if err != nil {
+			// Surface like a training failure — on the first session request
+			// — instead of silently serving with adaptation disabled.
+			trainErr = fmt.Errorf("forecache: adaptive allocation: %w", err)
+		} else {
+			adaptive = p
+			opts = append(opts, server.WithAllocation(adaptive))
+		}
+	}
 	factory := func(session string) (*core.Engine, error) {
 		if trainErr != nil {
 			return nil, trainErr
@@ -395,9 +451,12 @@ func (d *Dataset) NewServer(train []*trace.Trace, cfg MiddlewareConfig) *server.
 					engOpts = append(engOpts, core.WithFairShare())
 				}
 			}
-			if fc != nil {
-				engOpts = append(engOpts, core.WithFeedback(fc))
-			}
+		}
+		if fc != nil {
+			engOpts = append(engOpts, core.WithFeedback(fc))
+		}
+		if adaptive != nil {
+			engOpts = append(engOpts, core.WithAdaptiveAllocation(adaptive))
 		}
 		return d.assembleEngine(store, tm, cfg, engOpts...)
 	}

@@ -11,12 +11,14 @@
 // hot path.
 //
 // Beyond serving lookups, the manager attributes each prefetched tile's
-// fate to the model region and batch position that prefetched it: a tile
-// consumed by a later request is a hit for its position, a tile evicted
-// without ever being consumed is a miss. These Outcomes are the raw
-// material the prefetch scheduler's learned position-utility curve is fit
-// from (Khameleon fits utility from observed client consumption); the
-// engine drains them per request via TakeOutcomes.
+// fate to the model region, batch position and predicted analysis phase
+// that prefetched it: a tile consumed by a later request is a hit for its
+// position, a tile evicted without ever being consumed is a miss. These
+// Outcomes are the raw material the prefetch scheduler's learned
+// position-utility curve and the adaptive allocation policy's per-(phase,
+// model) consumption rates are fit from (Khameleon fits utility from
+// observed client consumption); the engine drains them per request via
+// TakeOutcomes.
 package cache
 
 import (
@@ -24,6 +26,7 @@ import (
 	"sync"
 
 	"forecache/internal/tile"
+	"forecache/internal/trace"
 )
 
 // Stats counts cache activity. Prediction accuracy in the paper's
@@ -45,15 +48,20 @@ func (s Stats) HitRate() float64 {
 }
 
 // Outcome is the fate of one prefetched tile, attributed to the model
-// region that held it and the batch position (0 = the model's top-ranked
-// prediction) it was prefetched at. Hit means a request consumed the tile;
-// !Hit means it was evicted without ever being consumed. Re-prefetching a
-// still-unconsumed coordinate refreshes the entry in place and emits no
-// outcome — the old prediction instance goes unjudged and the new one is
-// judged at its own position.
+// region that held it, the batch position (0 = the model's top-ranked
+// prediction) it was prefetched at, and the analysis phase the allocation
+// policy predicted when the prefetch was decided. Hit means a request
+// consumed the tile; !Hit means it was evicted without ever being consumed.
+// Re-prefetching a still-unconsumed coordinate refreshes the entry in place
+// and emits no outcome — the old prediction instance goes unjudged and the
+// new one is judged at its own position (and under the phase then in
+// effect). The phase lets the feedback loop keep per-(phase, model)
+// consumption tallies: the raw signal the adaptive allocation policy
+// re-splits the prefetch budget from.
 type Outcome struct {
 	Model    string
 	Position int
+	Phase    trace.Phase
 	Hit      bool
 }
 
@@ -67,8 +75,9 @@ const outcomeBufferCap = 4096
 // to turn its fate into an Outcome.
 type predTile struct {
 	t        *tile.Tile
-	pos      int  // batch rank the prefetcher assigned (0 = front-runner)
-	consumed bool // a request already hit this entry
+	pos      int         // batch rank the prefetcher assigned (0 = front-runner)
+	ph       trace.Phase // predicted phase when the prefetch was decided
+	consumed bool        // a request already hit this entry
 }
 
 // regionRef names one model region holding a coordinate.
@@ -207,7 +216,7 @@ func (m *Manager) evictRegionLocked(model string, pt *predTile) {
 	m.indexRemoveLocked(model, pt.t.Coord)
 	m.stats.Evicted++
 	if !pt.consumed {
-		m.recordOutcomeLocked(Outcome{Model: model, Position: pt.pos, Hit: false})
+		m.recordOutcomeLocked(Outcome{Model: model, Position: pt.pos, Phase: pt.ph, Hit: false})
 	}
 }
 
@@ -255,11 +264,13 @@ func (m *Manager) Allocations() map[string]int {
 
 // FillPredictions replaces a model's region with its newest ranked
 // predictions, trimmed to the model's allotment; a tile's slice index is its
-// batch position. Tiles beyond the allotment count as evictions. Unknown
-// models get allotment 0. An old entry re-predicted by the new batch is
-// refreshed rather than judged: no miss outcome is emitted for it, and the
-// new entry is a fresh prediction instance judged at the new position.
-func (m *Manager) FillPredictions(model string, tiles []*tile.Tile) {
+// batch position and ph is the analysis phase the allocation was made under
+// (both recorded as the attribution of the entry's eventual outcome). Tiles
+// beyond the allotment count as evictions. Unknown models get allotment 0.
+// An old entry re-predicted by the new batch is refreshed rather than
+// judged: no miss outcome is emitted for it, and the new entry is a fresh
+// prediction instance judged at the new position and phase.
+func (m *Manager) FillPredictions(model string, tiles []*tile.Tile, ph trace.Phase) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	k := m.allocs[model]
@@ -280,7 +291,7 @@ func (m *Manager) FillPredictions(model string, tiles []*tile.Tile) {
 		m.indexRemoveLocked(model, pt.t.Coord)
 		m.stats.Evicted++
 		if !pt.consumed && !incoming[pt.t.Coord] {
-			m.recordOutcomeLocked(Outcome{Model: model, Position: pt.pos, Hit: false})
+			m.recordOutcomeLocked(Outcome{Model: model, Position: pt.pos, Phase: pt.ph, Hit: false})
 		}
 	}
 	region := make([]*predTile, 0, len(tiles))
@@ -290,7 +301,7 @@ func (m *Manager) FillPredictions(model string, tiles []*tile.Tile) {
 			continue // keep the index one-entry-per-(coord, model)
 		}
 		seen[t.Coord] = true
-		pt := &predTile{t: t, pos: i}
+		pt := &predTile{t: t, pos: i, ph: ph}
 		region = append(region, pt)
 		m.indexAddLocked(model, pt)
 	}
@@ -300,15 +311,16 @@ func (m *Manager) FillPredictions(model string, tiles []*tile.Tile) {
 
 // InsertPrediction adds one asynchronously prefetched tile to a model's
 // region, newest first, trimmed to the model's current allotment. pos is
-// the batch position the prefetcher ranked the tile at (0 = front-runner),
-// the attribution its eventual hit/miss outcome is recorded under. Unlike
+// the batch position the prefetcher ranked the tile at (0 = front-runner)
+// and ph the analysis phase predicted when the batch was submitted — the
+// attribution its eventual hit/miss outcome is recorded under. Unlike
 // FillPredictions (the synchronous path, which replaces a region with a
 // whole ranked batch), tiles delivered by the prefetch scheduler arrive one
 // at a time and possibly out of order; the region behaves as a small
 // ring: a duplicate coordinate is refreshed in place (the old instance goes
 // unjudged), and tiles beyond the allotment fall off the old end as
 // evictions. A model with no allotment drops the tile.
-func (m *Manager) InsertPrediction(model string, t *tile.Tile, pos int) {
+func (m *Manager) InsertPrediction(model string, t *tile.Tile, pos int, ph trace.Phase) {
 	if t == nil {
 		return
 	}
@@ -319,7 +331,7 @@ func (m *Manager) InsertPrediction(model string, t *tile.Tile, pos int) {
 		return
 	}
 	region := m.regions[model]
-	fresh := &predTile{t: t, pos: pos}
+	fresh := &predTile{t: t, pos: pos, ph: ph}
 	out := make([]*predTile, 0, len(region)+1)
 	out = append(out, fresh)
 	for _, old := range region {
@@ -356,7 +368,7 @@ func (m *Manager) Lookup(c tile.Coord) (*tile.Tile, bool) {
 			for _, ref := range e.refs {
 				if !ref.pt.consumed {
 					ref.pt.consumed = true
-					m.recordOutcomeLocked(Outcome{Model: ref.model, Position: ref.pt.pos, Hit: true})
+					m.recordOutcomeLocked(Outcome{Model: ref.model, Position: ref.pt.pos, Phase: ref.pt.ph, Hit: true})
 				}
 			}
 			m.stats.Hits++

@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"forecache/internal/tile"
+	"forecache/internal/trace"
 )
 
 func mkTile(level, y, x int) *tile.Tile {
@@ -19,7 +20,7 @@ func TestLookupHitMissAccounting(t *testing.T) {
 	m := NewManager(4)
 	m.SetAllocations(map[string]int{"ab": 2})
 	tl := mkTile(1, 0, 0)
-	m.FillPredictions("ab", []*tile.Tile{tl})
+	m.FillPredictions("ab", []*tile.Tile{tl}, trace.Foraging)
 
 	if _, ok := m.Lookup(tl.Coord); !ok {
 		t.Fatal("prefetched tile should hit")
@@ -46,7 +47,7 @@ func TestFillPredictionsRespectsAllocation(t *testing.T) {
 	m := NewManager(2)
 	m.SetAllocations(map[string]int{"ab": 2})
 	tiles := []*tile.Tile{mkTile(2, 0, 0), mkTile(2, 0, 1), mkTile(2, 1, 0)}
-	m.FillPredictions("ab", tiles)
+	m.FillPredictions("ab", tiles, trace.Foraging)
 	if _, ok := m.Lookup(tiles[0].Coord); !ok {
 		t.Error("first prediction should be cached")
 	}
@@ -61,7 +62,7 @@ func TestFillPredictionsRespectsAllocation(t *testing.T) {
 
 func TestFillPredictionsUnknownModel(t *testing.T) {
 	m := NewManager(2)
-	m.FillPredictions("ghost", []*tile.Tile{mkTile(1, 0, 0)})
+	m.FillPredictions("ghost", []*tile.Tile{mkTile(1, 0, 0)}, trace.Foraging)
 	if m.Len() != 0 {
 		t.Error("unknown model has zero allotment; nothing should be cached")
 	}
@@ -70,7 +71,7 @@ func TestFillPredictionsUnknownModel(t *testing.T) {
 func TestSetAllocationsTrims(t *testing.T) {
 	m := NewManager(2)
 	m.SetAllocations(map[string]int{"ab": 3})
-	m.FillPredictions("ab", []*tile.Tile{mkTile(2, 0, 0), mkTile(2, 0, 1), mkTile(2, 1, 1)})
+	m.FillPredictions("ab", []*tile.Tile{mkTile(2, 0, 0), mkTile(2, 0, 1), mkTile(2, 1, 1)}, trace.Foraging)
 	m.SetAllocations(map[string]int{"ab": 1})
 	if m.Len() != 1 {
 		t.Errorf("after trim Len = %d, want 1", m.Len())
@@ -136,7 +137,7 @@ func TestPeekDoesNotCount(t *testing.T) {
 func TestClearKeepsAllocations(t *testing.T) {
 	m := NewManager(2)
 	m.SetAllocations(map[string]int{"ab": 2})
-	m.FillPredictions("ab", []*tile.Tile{mkTile(1, 0, 0)})
+	m.FillPredictions("ab", []*tile.Tile{mkTile(1, 0, 0)}, trace.Foraging)
 	m.InsertRecent(mkTile(2, 0, 0))
 	m.Clear()
 	if m.Len() != 0 {
@@ -159,7 +160,7 @@ func TestResetStats(t *testing.T) {
 func TestMemBytes(t *testing.T) {
 	m := NewManager(4)
 	m.SetAllocations(map[string]int{"ab": 1})
-	m.FillPredictions("ab", []*tile.Tile{mkTile(1, 0, 0)})
+	m.FillPredictions("ab", []*tile.Tile{mkTile(1, 0, 0)}, trace.Foraging)
 	m.InsertRecent(mkTile(1, 0, 1))
 	if m.MemBytes() <= 0 {
 		t.Error("MemBytes should be positive")
@@ -180,7 +181,7 @@ func TestConcurrentAccess(t *testing.T) {
 				case 0:
 					m.InsertRecent(tl)
 				case 1:
-					m.FillPredictions("ab", []*tile.Tile{tl})
+					m.FillPredictions("ab", []*tile.Tile{tl}, trace.Foraging)
 				case 2:
 					m.Lookup(tl.Coord)
 				default:
@@ -204,7 +205,7 @@ func BenchmarkLookup(b *testing.B) {
 	for i := 0; i < 4; i++ {
 		tiles = append(tiles, mkTile(4, 0, i))
 	}
-	m.FillPredictions("ab", tiles)
+	m.FillPredictions("ab", tiles, trace.Foraging)
 	c := tiles[3].Coord
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
@@ -216,13 +217,13 @@ func TestInsertPredictionRingBehavior(t *testing.T) {
 	m := NewManager(2)
 	m.SetAllocations(map[string]int{"ab": 2})
 	a, b, c := mkTile(2, 0, 0), mkTile(2, 0, 1), mkTile(2, 1, 0)
-	m.InsertPrediction("ab", a, 0)
-	m.InsertPrediction("ab", b, 1)
+	m.InsertPrediction("ab", a, 0, trace.Foraging)
+	m.InsertPrediction("ab", b, 1, trace.Foraging)
 	if !m.Peek(a.Coord) || !m.Peek(b.Coord) {
 		t.Fatal("both inserted predictions should be cached")
 	}
 	// A third insert evicts the oldest (a).
-	m.InsertPrediction("ab", c, 2)
+	m.InsertPrediction("ab", c, 2, trace.Foraging)
 	if m.Peek(a.Coord) {
 		t.Error("oldest prediction should have been evicted")
 	}
@@ -230,7 +231,7 @@ func TestInsertPredictionRingBehavior(t *testing.T) {
 		t.Error("newest two predictions should remain")
 	}
 	// Re-inserting an existing coordinate refreshes, not duplicates.
-	m.InsertPrediction("ab", b, 1)
+	m.InsertPrediction("ab", b, 1, trace.Foraging)
 	st := m.Stats()
 	if st.Prefetched != 4 {
 		t.Errorf("Prefetched = %d, want 4", st.Prefetched)
@@ -243,7 +244,7 @@ func TestInsertPredictionRingBehavior(t *testing.T) {
 func TestInsertPredictionNoAllotment(t *testing.T) {
 	m := NewManager(2)
 	m.SetAllocations(map[string]int{"ab": 1})
-	m.InsertPrediction("unknown", mkTile(1, 0, 0), 0)
+	m.InsertPrediction("unknown", mkTile(1, 0, 0), 0, trace.Foraging)
 	if m.Len() != 0 {
 		t.Error("prediction for an unallocated model must be dropped")
 	}

@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"forecache/internal/tile"
+	"forecache/internal/trace"
 )
 
 // drain is a test helper asserting the exact outcome set (order-sensitive).
@@ -26,7 +27,7 @@ func TestOutcomeHitAttribution(t *testing.T) {
 	m.TrackOutcomes(true)
 	m.SetAllocations(map[string]int{"ab": 3})
 	tiles := []*tile.Tile{mkTile(2, 0, 0), mkTile(2, 0, 1), mkTile(2, 1, 0)}
-	m.FillPredictions("ab", tiles)
+	m.FillPredictions("ab", tiles, trace.Foraging)
 
 	// Consuming the rank-1 prediction credits position 1, exactly once.
 	if _, ok := m.Lookup(tiles[1].Coord); !ok {
@@ -35,7 +36,7 @@ func TestOutcomeHitAttribution(t *testing.T) {
 	if _, ok := m.Lookup(tiles[1].Coord); !ok {
 		t.Fatal("second lookup should still hit")
 	}
-	drain(t, m, []Outcome{{Model: "ab", Position: 1, Hit: true}})
+	drain(t, m, []Outcome{{Model: "ab", Position: 1, Phase: trace.Foraging, Hit: true}})
 
 	// An overall miss emits no position outcome: nothing predicted it.
 	if _, ok := m.Lookup(tile.Coord{Level: 5}); ok {
@@ -52,8 +53,8 @@ func TestOutcomeCreditsEveryAgreeingModel(t *testing.T) {
 	m.TrackOutcomes(true)
 	m.SetAllocations(map[string]int{"ab": 2, "sb": 2})
 	shared := mkTile(2, 0, 0)
-	m.FillPredictions("ab", []*tile.Tile{shared, mkTile(2, 0, 1)})
-	m.FillPredictions("sb", []*tile.Tile{mkTile(2, 1, 0), shared})
+	m.FillPredictions("ab", []*tile.Tile{shared, mkTile(2, 0, 1)}, trace.Foraging)
+	m.FillPredictions("sb", []*tile.Tile{mkTile(2, 1, 0), shared}, trace.Foraging)
 	if _, ok := m.Lookup(shared.Coord); !ok {
 		t.Fatal("shared prediction should hit")
 	}
@@ -82,17 +83,17 @@ func TestOutcomeMissOnReplacement(t *testing.T) {
 	m.TrackOutcomes(true)
 	m.SetAllocations(map[string]int{"ab": 2})
 	a, b := mkTile(2, 0, 0), mkTile(2, 0, 1)
-	m.FillPredictions("ab", []*tile.Tile{a, b})
+	m.FillPredictions("ab", []*tile.Tile{a, b}, trace.Foraging)
 	if _, ok := m.Lookup(a.Coord); !ok {
 		t.Fatal("a should hit")
 	}
 	// The next batch re-predicts nothing: a was consumed (hit already
 	// recorded), b was not (miss at its position 1).
 	c, d := mkTile(2, 1, 0), mkTile(2, 1, 1)
-	m.FillPredictions("ab", []*tile.Tile{c, d})
+	m.FillPredictions("ab", []*tile.Tile{c, d}, trace.Foraging)
 	drain(t, m, []Outcome{
-		{Model: "ab", Position: 0, Hit: true},
-		{Model: "ab", Position: 1, Hit: false},
+		{Model: "ab", Position: 0, Phase: trace.Foraging, Hit: true},
+		{Model: "ab", Position: 1, Phase: trace.Foraging, Hit: false},
 	})
 }
 
@@ -101,16 +102,16 @@ func TestOutcomeRefreshIsNotJudged(t *testing.T) {
 	m.TrackOutcomes(true)
 	m.SetAllocations(map[string]int{"ab": 2})
 	a, b := mkTile(2, 0, 0), mkTile(2, 0, 1)
-	m.FillPredictions("ab", []*tile.Tile{a, b})
+	m.FillPredictions("ab", []*tile.Tile{a, b}, trace.Foraging)
 	// b is re-predicted (now at rank 0): no outcome for the old instance;
 	// a leaves unconsumed: miss at position 0.
-	m.FillPredictions("ab", []*tile.Tile{b, mkTile(2, 1, 1)})
-	drain(t, m, []Outcome{{Model: "ab", Position: 0, Hit: false}})
+	m.FillPredictions("ab", []*tile.Tile{b, mkTile(2, 1, 1)}, trace.Foraging)
+	drain(t, m, []Outcome{{Model: "ab", Position: 0, Phase: trace.Foraging, Hit: false}})
 	// Consuming b now credits its refreshed position 0.
 	if _, ok := m.Lookup(b.Coord); !ok {
 		t.Fatal("refreshed tile should hit")
 	}
-	drain(t, m, []Outcome{{Model: "ab", Position: 0, Hit: true}})
+	drain(t, m, []Outcome{{Model: "ab", Position: 0, Phase: trace.Foraging, Hit: true}})
 }
 
 func TestOutcomeAsyncRingEviction(t *testing.T) {
@@ -118,22 +119,22 @@ func TestOutcomeAsyncRingEviction(t *testing.T) {
 	m.TrackOutcomes(true)
 	m.SetAllocations(map[string]int{"ab": 2})
 	a, b, c := mkTile(2, 0, 0), mkTile(2, 0, 1), mkTile(2, 1, 0)
-	m.InsertPrediction("ab", a, 0)
-	m.InsertPrediction("ab", b, 1)
-	m.InsertPrediction("ab", c, 2) // rings a out, unconsumed: miss at pos 0
-	drain(t, m, []Outcome{{Model: "ab", Position: 0, Hit: false}})
+	m.InsertPrediction("ab", a, 0, trace.Foraging)
+	m.InsertPrediction("ab", b, 1, trace.Foraging)
+	m.InsertPrediction("ab", c, 2, trace.Foraging) // rings a out, unconsumed: miss at pos 0
+	drain(t, m, []Outcome{{Model: "ab", Position: 0, Phase: trace.Foraging, Hit: false}})
 	if _, ok := m.Lookup(c.Coord); !ok {
 		t.Fatal("newest prediction should hit")
 	}
-	drain(t, m, []Outcome{{Model: "ab", Position: 2, Hit: true}})
+	drain(t, m, []Outcome{{Model: "ab", Position: 2, Phase: trace.Foraging, Hit: true}})
 }
 
 func TestOutcomeAllocationLossJudged(t *testing.T) {
 	m := NewManager(4)
 	m.TrackOutcomes(true)
 	m.SetAllocations(map[string]int{"ab": 2, "sb": 1})
-	m.FillPredictions("ab", []*tile.Tile{mkTile(2, 0, 0), mkTile(2, 0, 1)})
-	m.FillPredictions("sb", []*tile.Tile{mkTile(2, 1, 0)})
+	m.FillPredictions("ab", []*tile.Tile{mkTile(2, 0, 0), mkTile(2, 0, 1)}, trace.Foraging)
+	m.FillPredictions("sb", []*tile.Tile{mkTile(2, 1, 0)}, trace.Foraging)
 	// ab shrinks to 1 slot (rank-1 entry trimmed: miss at 1); sb loses its
 	// region entirely (miss at 0).
 	m.SetAllocations(map[string]int{"ab": 1})
@@ -154,7 +155,7 @@ func TestOutcomeClearNotJudged(t *testing.T) {
 	m := NewManager(4)
 	m.TrackOutcomes(true)
 	m.SetAllocations(map[string]int{"ab": 2})
-	m.FillPredictions("ab", []*tile.Tile{mkTile(2, 0, 0)})
+	m.FillPredictions("ab", []*tile.Tile{mkTile(2, 0, 0)}, trace.Foraging)
 	m.Clear()
 	if got := m.TakeOutcomes(); len(got) != 0 {
 		t.Fatalf("Clear must not judge predictions, got %+v", got)
@@ -164,12 +165,37 @@ func TestOutcomeClearNotJudged(t *testing.T) {
 	}
 }
 
+// TestOutcomePhaseAttribution: an outcome carries the phase in effect when
+// the tile was PREFETCHED, not when it was judged — and a refresh re-stamps
+// the entry with the refreshing batch's phase.
+func TestOutcomePhaseAttribution(t *testing.T) {
+	m := NewManager(4)
+	m.TrackOutcomes(true)
+	m.SetAllocations(map[string]int{"ab": 2})
+	a, b := mkTile(2, 0, 0), mkTile(2, 0, 1)
+	m.FillPredictions("ab", []*tile.Tile{a, b}, trace.Sensemaking)
+	// a consumed: hit attributed to Sensemaking even if the user's phase
+	// changed since.
+	if _, ok := m.Lookup(a.Coord); !ok {
+		t.Fatal("a should hit")
+	}
+	// b refreshed under Navigation, then rung out by later inserts:
+	// the miss is attributed to the refreshing batch's phase.
+	m.FillPredictions("ab", []*tile.Tile{b}, trace.Navigation)
+	m.InsertPrediction("ab", mkTile(2, 1, 0), 0, trace.Foraging)
+	m.InsertPrediction("ab", mkTile(2, 1, 1), 1, trace.Foraging)
+	drain(t, m, []Outcome{
+		{Model: "ab", Position: 0, Phase: trace.Sensemaking, Hit: true},
+		{Model: "ab", Position: 0, Phase: trace.Navigation, Hit: false},
+	})
+}
+
 func TestOutcomeTrackingOffByDefault(t *testing.T) {
 	m := NewManager(4)
 	m.SetAllocations(map[string]int{"ab": 1})
-	m.FillPredictions("ab", []*tile.Tile{mkTile(2, 0, 0)})
+	m.FillPredictions("ab", []*tile.Tile{mkTile(2, 0, 0)}, trace.Foraging)
 	m.Lookup(tile.Coord{Level: 2})
-	m.FillPredictions("ab", []*tile.Tile{mkTile(2, 1, 1)})
+	m.FillPredictions("ab", []*tile.Tile{mkTile(2, 1, 1)}, trace.Foraging)
 	if got := m.TakeOutcomes(); got != nil {
 		t.Fatalf("outcomes accumulated while disabled: %+v", got)
 	}
@@ -180,7 +206,7 @@ func TestOutcomeBufferBounded(t *testing.T) {
 	m.TrackOutcomes(true)
 	m.SetAllocations(map[string]int{"ab": 1})
 	for i := 0; i < outcomeBufferCap+100; i++ {
-		m.InsertPrediction("ab", mkTile(8, i/512, i%512), 0)
+		m.InsertPrediction("ab", mkTile(8, i/512, i%512), 0, trace.Foraging)
 	}
 	if got := len(m.TakeOutcomes()); got > outcomeBufferCap {
 		t.Fatalf("outcome buffer grew to %d, cap is %d", got, outcomeBufferCap)
@@ -195,9 +221,9 @@ func TestIndexConsistentAfterChurn(t *testing.T) {
 	for i := 0; i < 50; i++ {
 		switch i % 5 {
 		case 0:
-			m.FillPredictions("ab", []*tile.Tile{mkTile(3, i%8, 0), mkTile(3, i%8, 1)})
+			m.FillPredictions("ab", []*tile.Tile{mkTile(3, i%8, 0), mkTile(3, i%8, 1)}, trace.Foraging)
 		case 1:
-			m.InsertPrediction("sb", mkTile(3, i%8, 2), i%3)
+			m.InsertPrediction("sb", mkTile(3, i%8, 2), i%3, trace.Foraging)
 		case 2:
 			m.Lookup(tile.Coord{Level: 3, Y: i % 8, X: 1})
 		case 3:
@@ -294,7 +320,7 @@ func benchManagerN(n int) (*Manager, []tile.Coord) {
 			tiles = append(tiles, tl)
 			coords = append(coords, tl.Coord)
 		}
-		m.FillPredictions(fmt.Sprintf("model%d", r), tiles)
+		m.FillPredictions(fmt.Sprintf("model%d", r), tiles, trace.Foraging)
 	}
 	_ = ballast
 	return m, coords

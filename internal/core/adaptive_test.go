@@ -7,6 +7,7 @@ import (
 	"forecache/internal/prefetch"
 	"forecache/internal/recommend"
 	"forecache/internal/tile"
+	"forecache/internal/trace"
 )
 
 // fakeSubmitter records submitted batches and reports settable global and
@@ -165,7 +166,7 @@ func TestAdaptiveKKeepsCacheRegionsFull(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		eng.deliver(m.Name(), eng.epoch, 0, tl)
+		eng.deliver(m.Name(), eng.epoch, 0, trace.PhaseUnknown, tl)
 	}
 	// A request under full pressure shrinks its submit batch to 1...
 	fake.setPressure(1)

@@ -92,12 +92,13 @@ type Submitter interface {
 }
 
 // FeedbackObserver receives the cache's prefetch outcomes — "the tile
-// prefetched by model at batch position pos was (or was not) consumed" —
-// one call per outcome, drained after every request. Implemented by
-// *prefetch.FeedbackCollector, which fits the scheduler's position-utility
-// curve from these observations.
+// prefetched by model at batch position pos, under predicted phase ph, was
+// (or was not) consumed" — one call per outcome, drained after every
+// request. Implemented by *prefetch.FeedbackCollector, which fits the
+// scheduler's position-utility curve and the per-(phase, model)
+// consumption rates (the AdaptivePolicy signal) from these observations.
 type FeedbackObserver interface {
-	Observe(model string, pos int, hit bool)
+	Observe(ph trace.Phase, model string, pos int, hit bool)
 }
 
 // Option customizes an Engine beyond Config.
@@ -137,15 +138,33 @@ func WithFairShare() Option {
 
 // WithFeedback closes the prediction-quality loop: the engine tracks each
 // prefetched tile's fate in its cache (consumed vs evicted unconsumed,
-// attributed to the model and batch position that prefetched it) and
-// reports the outcomes to obs after every request. Sharing one
-// *prefetch.FeedbackCollector across a deployment's engines and its
-// scheduler lets admission control learn the position-utility curve from
-// real consumption instead of the static positionBase guess.
+// attributed to the model, batch position and predicted phase that
+// prefetched it) and reports the outcomes to obs after every request.
+// Sharing one *prefetch.FeedbackCollector across a deployment's engines
+// and its scheduler lets admission control learn the position-utility
+// curve — and the allocation policy the per-phase model split — from real
+// consumption instead of the static guesses.
 func WithFeedback(obs FeedbackObserver) Option {
 	return func(e *Engine) {
 		e.feedback = obs
 		e.cache.TrackOutcomes(obs != nil)
+	}
+}
+
+// WithAdaptiveAllocation replaces the engine's allocation policy with the
+// deployment's shared feedback-driven policy: the per-phase budget split
+// shifts toward the model whose prefetches actually get consumed (fed by
+// the same FeedbackCollector passed to WithFeedback), with the engine's
+// static policy table as the prior. Every session engine of a deployment
+// shares one *AdaptivePolicy so the learned split reflects all traffic and
+// is exported once under /stats and /metrics. The policy must allocate to
+// models the engine actually has (NewEngine validates the effective policy
+// after options are applied).
+func WithAdaptiveAllocation(p *AdaptivePolicy) Option {
+	return func(e *Engine) {
+		if p != nil {
+			e.policy = p
+		}
 	}
 }
 
@@ -206,16 +225,6 @@ func NewEngine(db backend.Store, classifier *phase.Classifier, policy Allocation
 	for _, m := range models {
 		byName[m.Name()] = m
 	}
-	for name := range policy.Allocations(trace.Foraging, cfg.K) {
-		if _, ok := byName[name]; !ok {
-			return nil, fmt.Errorf("core: policy references unknown model %q", name)
-		}
-	}
-	for name := range policy.Allocations(trace.Sensemaking, cfg.K) {
-		if _, ok := byName[name]; !ok {
-			return nil, fmt.Errorf("core: policy references unknown model %q", name)
-		}
-	}
 	e := &Engine{
 		cfg:        cfg,
 		db:         db,
@@ -227,6 +236,26 @@ func NewEngine(db backend.Store, classifier *phase.Classifier, policy Allocation
 	}
 	for _, opt := range opts {
 		opt(e)
+	}
+	// Validate the EFFECTIVE policy (options may have swapped it in, e.g.
+	// WithAdaptiveAllocation): every model it can allocate to must exist.
+	// A policy that names its models (AdaptivePolicy) is probed read-only —
+	// calling Allocations on the deployment's shared learning policy would
+	// mutate its state as a side effect of every session construction.
+	var names []string
+	if mp, ok := e.policy.(interface{ Models() []string }); ok {
+		names = mp.Models()
+	} else {
+		for _, ph := range []trace.Phase{trace.Foraging, trace.Sensemaking} {
+			for name := range e.policy.Allocations(ph, cfg.K) {
+				names = append(names, name)
+			}
+		}
+	}
+	for _, name := range names {
+		if _, ok := byName[name]; !ok {
+			return nil, fmt.Errorf("core: policy references unknown model %q", name)
+		}
 	}
 	return e, nil
 }
@@ -251,17 +280,18 @@ func (e *Engine) DetachScheduler() {
 }
 
 // deliver installs an asynchronously fetched tile into the model's cache
-// region at the batch position it was ranked at — unless the engine was
-// reset or detached after the tile was requested, in which case the stale
-// delivery is dropped. Runs on a scheduler worker; it holds the engine
-// lock so it serializes with Reset.
-func (e *Engine) deliver(model string, epoch uint64, pos int, t *tile.Tile) {
+// region at the batch position it was ranked at and the phase predicted
+// when the batch was submitted — unless the engine was reset or detached
+// after the tile was requested, in which case the stale delivery is
+// dropped. Runs on a scheduler worker; it holds the engine lock so it
+// serializes with Reset.
+func (e *Engine) deliver(model string, epoch uint64, pos int, ph trace.Phase, t *tile.Tile) {
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	if e.epoch != epoch || e.sched == nil {
 		return
 	}
-	e.cache.InsertPrediction(model, t, pos)
+	e.cache.InsertPrediction(model, t, pos, ph)
 }
 
 // Config returns the engine's configuration.
@@ -365,18 +395,19 @@ func (e *Engine) Request(c tile.Coord) (*Response, error) {
 		fetchAllocs = e.policy.Allocations(resp.Phase, k)
 	}
 	if e.sched != nil {
-		resp.Prefetched = e.submitPrefetch(req, fetchAllocs)
+		resp.Prefetched = e.submitPrefetch(req, fetchAllocs, resp.Phase)
 	} else {
-		resp.Prefetched = e.prefetch(req, fetchAllocs)
+		resp.Prefetched = e.prefetch(req, fetchAllocs, resp.Phase)
 	}
 
 	// Close the loop: report this request's prefetch outcomes (hits at
 	// consumption, misses at eviction — including evictions the allocation
 	// change above just caused) to the deployment's feedback collector, so
-	// the scheduler's position-utility curve tracks real consumption.
+	// the scheduler's position-utility curve and the adaptive policy's
+	// per-(phase, model) split track real consumption.
 	if e.feedback != nil {
 		for _, o := range e.cache.TakeOutcomes() {
-			e.feedback.Observe(o.Model, o.Position, o.Hit)
+			e.feedback.Observe(o.Phase, o.Model, o.Position, o.Hit)
 		}
 	}
 	return resp, nil
@@ -419,7 +450,7 @@ func (e *Engine) rankModels(req trace.Request, allocs map[string]int) []modelRan
 // cache via quiet DBMS fetches inline (prefetching happens while the user
 // analyzes the current view, off the response path). The eval harness uses
 // this mode so the paper's experiments stay deterministic.
-func (e *Engine) prefetch(req trace.Request, allocs map[string]int) []tile.Coord {
+func (e *Engine) prefetch(req trace.Request, allocs map[string]int, ph trace.Phase) []tile.Coord {
 	var fetched []tile.Coord
 	seen := map[tile.Coord]bool{}
 	for _, r := range e.rankModels(req, allocs) {
@@ -435,7 +466,7 @@ func (e *Engine) prefetch(req trace.Request, allocs map[string]int) []tile.Coord
 				fetched = append(fetched, pred.Coord)
 			}
 		}
-		e.cache.FillPredictions(r.name, tiles)
+		e.cache.FillPredictions(r.name, tiles, ph)
 	}
 	return fetched
 }
@@ -445,7 +476,7 @@ func (e *Engine) prefetch(req trace.Request, allocs map[string]int) []tile.Coord
 // response path (coalescing duplicates across sessions) and delivers each
 // tile into this engine's cache as it completes. The returned coordinates
 // are the ones submitted, not necessarily loaded yet.
-func (e *Engine) submitPrefetch(req trace.Request, allocs map[string]int) []tile.Coord {
+func (e *Engine) submitPrefetch(req trace.Request, allocs map[string]int, ph trace.Phase) []tile.Coord {
 	var reqs []prefetch.Request
 	var submitted []tile.Coord
 	seen := map[tile.Coord]bool{}
@@ -458,7 +489,7 @@ func (e *Engine) submitPrefetch(req trace.Request, allocs map[string]int) []tile
 				Coord: pred.Coord,
 				Score: pred.Score,
 				Deliver: func(t *tile.Tile) {
-					e.deliver(name, epoch, pos, t)
+					e.deliver(name, epoch, pos, ph, t)
 				},
 			})
 			if !seen[pred.Coord] {

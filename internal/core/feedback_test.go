@@ -7,26 +7,29 @@ import (
 	"forecache/internal/prefetch"
 	"forecache/internal/recommend"
 	"forecache/internal/tile"
+	"forecache/internal/trace"
 )
 
 // recordingObserver collects Observe calls for assertions.
 type recordingObserver struct {
 	mu       sync.Mutex
 	outcomes []struct {
+		ph    trace.Phase
 		model string
 		pos   int
 		hit   bool
 	}
 }
 
-func (r *recordingObserver) Observe(model string, pos int, hit bool) {
+func (r *recordingObserver) Observe(ph trace.Phase, model string, pos int, hit bool) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	r.outcomes = append(r.outcomes, struct {
+		ph    trace.Phase
 		model string
 		pos   int
 		hit   bool
-	}{model, pos, hit})
+	}{ph, model, pos, hit})
 }
 
 func (r *recordingObserver) counts() (hits, misses int) {

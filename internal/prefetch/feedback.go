@@ -3,6 +3,8 @@ package prefetch
 import (
 	"math"
 	"sync"
+
+	"forecache/internal/trace"
 )
 
 // FeedbackCollector closes the loop from cache outcomes back into the
@@ -25,6 +27,14 @@ import (
 // (diminishing returns): consumption noise must never invert the batch
 // order the recommenders chose, only reshape how steeply it discounts.
 //
+// Alongside the position curve, the collector keeps per-(phase, model)
+// consumption tallies: an EWMA of how often each recommender's prefetches
+// get consumed within each predicted analysis phase. That is the signal
+// core.AdaptivePolicy re-splits the prefetch budget from — the paper's
+// fixed per-phase allocation table (§5.4.3) becomes the prior, and budget
+// share shifts toward the model whose predictions the phase's users
+// actually consume.
+//
 // A FeedbackCollector is shared by every session engine of a deployment
 // and by its scheduler; all methods are safe for concurrent use.
 type FeedbackCollector struct {
@@ -36,6 +46,16 @@ type FeedbackCollector struct {
 	// recommender's prefetches actually get consumed.
 	modelHits   map[string]int
 	modelMisses map[string]int
+	// per-(phase, model) EWMA consumption rate and observation counts: the
+	// allocation feedback signal.
+	phaseRate map[phaseModel]float64
+	phaseObs  map[phaseModel]int
+}
+
+// phaseModel keys the allocation tallies.
+type phaseModel struct {
+	ph    trace.Phase
+	model string
 }
 
 // Collector tuning. The EWMA weight trades adaptation speed against noise:
@@ -60,12 +80,15 @@ func NewFeedbackCollector(maxPos int) *FeedbackCollector {
 		obs:         make([]int, maxPos),
 		modelHits:   make(map[string]int),
 		modelMisses: make(map[string]int),
+		phaseRate:   make(map[phaseModel]float64),
+		phaseObs:    make(map[phaseModel]int),
 	}
 }
 
 // Observe records one cache outcome: the tile prefetched at batch position
-// pos by model was (hit) or was not (miss) consumed before eviction.
-func (f *FeedbackCollector) Observe(model string, pos int, hit bool) {
+// pos by model, under predicted analysis phase ph, was (hit) or was not
+// (miss) consumed before eviction.
+func (f *FeedbackCollector) Observe(ph trace.Phase, model string, pos int, hit bool) {
 	f.mu.Lock()
 	defer f.mu.Unlock()
 	if pos < 0 {
@@ -89,6 +112,42 @@ func (f *FeedbackCollector) Observe(model string, pos int, hit bool) {
 	} else {
 		f.modelMisses[model]++
 	}
+	key := phaseModel{ph: ph, model: model}
+	if f.phaseObs[key] == 0 {
+		f.phaseRate[key] = v
+	} else {
+		f.phaseRate[key] += f.alpha * (v - f.phaseRate[key])
+	}
+	f.phaseObs[key]++
+}
+
+// AllocationRate reports the EWMA consumption rate of model's prefetches
+// under predicted phase ph, and how many outcomes it was fit from (0 obs =
+// never prefetched in that phase, rate 0). It implements
+// core.AllocationFeedback: the signal AdaptivePolicy re-splits the prefetch
+// budget from.
+func (f *FeedbackCollector) AllocationRate(ph trace.Phase, model string) (rate float64, obs int) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	key := phaseModel{ph: ph, model: model}
+	return f.phaseRate[key], f.phaseObs[key]
+}
+
+// AllocationRates is the batched variant AdaptivePolicy uses on the
+// per-request hot path: one lock hold returns every model's rate and
+// observation count for the phase (ordered like models), instead of
+// 2 x len(models) separate acquisitions of a mutex shared by all sessions.
+func (f *FeedbackCollector) AllocationRates(ph trace.Phase, models []string) (rates []float64, obs []int) {
+	rates = make([]float64, len(models))
+	obs = make([]int, len(models))
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	for i, m := range models {
+		key := phaseModel{ph: ph, model: m}
+		rates[i] = f.phaseRate[key]
+		obs[i] = f.phaseObs[key]
+	}
+	return rates, obs
 }
 
 // Factor returns the position-decay factor for batch position pos: the

@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"forecache/internal/tile"
+	"forecache/internal/trace"
 )
 
 func TestFeedbackColdStartIsStaticCurve(t *testing.T) {
@@ -23,9 +24,9 @@ func TestFeedbackLearnsObservedCurve(t *testing.T) {
 	f := NewFeedbackCollector(3)
 	// Position 0 consumed 100%, position 1 consumed ~50%, position 2 never.
 	for i := 0; i < 200; i++ {
-		f.Observe("ab", 0, true)
-		f.Observe("ab", 1, i%2 == 0)
-		f.Observe("ab", 2, false)
+		f.Observe(trace.Foraging, "ab", 0, true)
+		f.Observe(trace.Foraging, "ab", 1, i%2 == 0)
+		f.Observe(trace.Foraging, "ab", 2, false)
 	}
 	if got := f.Factor(0); got != 1 {
 		t.Errorf("Factor(0) = %v, want 1", got)
@@ -51,10 +52,10 @@ func TestFeedbackCurveMonotone(t *testing.T) {
 	// exported curve must still be non-increasing so utility order can
 	// never invert the recommenders' rank order.
 	for i := 0; i < 100; i++ {
-		f.Observe("ab", 0, true)
-		f.Observe("ab", 1, i%5 == 0) // 20%
-		f.Observe("ab", 2, i%2 == 0) // 50%
-		f.Observe("ab", 3, false)
+		f.Observe(trace.Foraging, "ab", 0, true)
+		f.Observe(trace.Foraging, "ab", 1, i%5 == 0) // 20%
+		f.Observe(trace.Foraging, "ab", 2, i%2 == 0) // 50%
+		f.Observe(trace.Foraging, "ab", 3, false)
 	}
 	curve := f.Curve()
 	for p := 1; p < len(curve); p++ {
@@ -73,8 +74,8 @@ func TestFeedbackCurveMonotone(t *testing.T) {
 func TestFeedbackDeepPositionsClampToLastBucket(t *testing.T) {
 	f := NewFeedbackCollector(2)
 	for i := 0; i < 100; i++ {
-		f.Observe("ab", 0, true)
-		f.Observe("ab", 7, i%4 == 0) // clamps into bucket 1
+		f.Observe(trace.Foraging, "ab", 0, true)
+		f.Observe(trace.Foraging, "ab", 7, i%4 == 0) // clamps into bucket 1
 	}
 	if got, want := f.Factor(9), f.Factor(1); got != want {
 		t.Errorf("Factor(9) = %v, want last bucket's %v", got, want)
@@ -89,7 +90,7 @@ func TestFeedbackConcurrentObserve(t *testing.T) {
 		go func(g int) {
 			defer wg.Done()
 			for i := 0; i < 500; i++ {
-				f.Observe("m", i%4, (i+g)%3 == 0)
+				f.Observe(trace.Foraging, "m", i%4, (i+g)%3 == 0)
 				_ = f.Factor(i % 6)
 				if i%100 == 0 {
 					_ = f.Curve()
@@ -112,8 +113,8 @@ func TestSchedulerUsesLearnedCurve(t *testing.T) {
 	newCollector := func(flat bool) *FeedbackCollector {
 		f := NewFeedbackCollector(4)
 		for i := 0; i < 100; i++ {
-			f.Observe("ab", 0, true)
-			f.Observe("ab", 1, flat) // flat: consumed as often as pos 0
+			f.Observe(trace.Foraging, "ab", 0, true)
+			f.Observe(trace.Foraging, "ab", 1, flat) // flat: consumed as often as pos 0
 		}
 		return f
 	}

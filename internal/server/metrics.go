@@ -162,6 +162,40 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 
+	if s.alloc != nil {
+		// The Shares snapshot is taken under one policy lock hold, so within
+		// one scrape every phase's shares sum to 1 even while reallocations
+		// race the scrape. Samples are emitted in sorted (phase, model)
+		// order so consecutive scrapes list the same series identically.
+		shares := s.alloc.Shares()
+		type phaseRow struct {
+			name    string
+			byModel map[string]float64
+		}
+		rows := make([]phaseRow, 0, len(shares))
+		for ph, byModel := range shares {
+			rows = append(rows, phaseRow{name: ph.String(), byModel: byModel})
+		}
+		sort.Slice(rows, func(i, j int) bool { return rows[i].name < rows[j].name })
+		var allocSamples []sample
+		for _, row := range rows {
+			models := make([]string, 0, len(row.byModel))
+			for m := range row.byModel {
+				models = append(models, m)
+			}
+			sort.Strings(models)
+			for _, m := range models {
+				allocSamples = append(allocSamples, sample{
+					labels: labels(map[string]string{"phase": row.name, "model": m}),
+					value:  row.byModel[m],
+				})
+			}
+		}
+		pw.family("forecache_allocation_share",
+			"Current prefetch-budget share per (phase, model) under the adaptive allocation policy (the static table's split until the phase warms up); each phase's shares sum to 1.",
+			"gauge", allocSamples...)
+	}
+
 	w.Header().Set("Content-Type", promContentType)
 	w.WriteHeader(http.StatusOK)
 	_, _ = fmt.Fprint(w, pw.b.String())

@@ -7,12 +7,14 @@ import (
 	"regexp"
 	"strconv"
 	"strings"
+	"sync"
 	"testing"
 
 	"forecache/internal/backend"
 	"forecache/internal/core"
 	"forecache/internal/prefetch"
 	"forecache/internal/recommend"
+	"forecache/internal/trace"
 )
 
 var (
@@ -298,6 +300,121 @@ func TestMetricsCountersSurviveEviction(t *testing.T) {
 	if after["forecache_cache_misses_total"] < before["forecache_cache_misses_total"]+1 {
 		t.Errorf("misses_total = %v, want >= %v (b's first miss on top of a's retired count)",
 			after["forecache_cache_misses_total"], before["forecache_cache_misses_total"]+1)
+	}
+}
+
+// TestMetricsAllocationShares extends the strict-format validation to the
+// forecache_allocation_share family: hostile model names must escape
+// cleanly, every sample must carry phase+model labels, and — because the
+// Shares snapshot is taken under one policy lock hold — each scrape's
+// per-phase shares must sum to exactly 1 even while reallocations and
+// observations churn concurrently.
+func TestMetricsAllocationShares(t *testing.T) {
+	pyr := testPyramid(t)
+	db := backend.NewDBMS(pyr, backend.DefaultLatency(), nil)
+	fc := prefetch.NewFeedbackCollector(4)
+	evil := `ev"il\mo` + "\ndel"
+	base := core.OriginalPolicy{ABName: evil, SBName: "sb_ok"}
+	ap, err := core.NewAdaptivePolicy(base, []string{evil, "sb_ok"}, fc,
+		core.AdaptiveConfig{Floor: 0.1, MaxStep: 0.02})
+	if err != nil {
+		t.Fatal(err)
+	}
+	factory := func(session string) (*core.Engine, error) {
+		m := recommend.NewMomentum()
+		return core.NewEngine(db, nil, core.SinglePolicy{Model: m.Name()},
+			[]recommend.Model{m}, core.Config{K: 4})
+	}
+	srv := New(Meta{Levels: pyr.NumLevels(), TileSize: pyr.TileSize(), Attrs: pyr.Attrs()},
+		factory, WithMetrics(), WithAllocation(ap))
+	t.Cleanup(srv.Close)
+
+	// Populate every phase's share state: two cold (prior shares) and one
+	// warmed past reallocation.
+	phases := []trace.Phase{trace.Foraging, trace.Navigation, trace.Sensemaking}
+	for _, ph := range phases {
+		ap.Allocations(ph, 4)
+	}
+	for i := 0; i < 100; i++ {
+		fc.Observe(trace.Navigation, evil, i%4, true)
+		fc.Observe(trace.Navigation, "sb_ok", i%4, i%2 == 0)
+	}
+	ap.Allocations(trace.Navigation, 4)
+
+	// Concurrent churn: observations and reallocations race the scrapes.
+	done := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; ; i++ {
+			select {
+			case <-done:
+				return
+			default:
+			}
+			fc.Observe(phases[i%3], evil, i%4, i%3 == 0)
+			ap.Allocations(phases[i%3], 4)
+		}
+	}()
+
+	shareRe := regexp.MustCompile(`^forecache_allocation_share\{model="((?:[^"\\]|\\.)*)",phase="([^"]*)"\}$`)
+	for scrape := 0; scrape < 20; scrape++ {
+		rec := httptest.NewRecorder()
+		srv.ServeHTTP(rec, httptest.NewRequest("GET", "/metrics", nil))
+		if rec.Code != 200 {
+			t.Fatalf("/metrics: %d", rec.Code)
+		}
+		values := validatePromText(t, rec.Body.String())
+		perPhase := map[string]float64{}
+		models := map[string]map[string]bool{}
+		for k, v := range values {
+			m := shareRe.FindStringSubmatch(k)
+			if m == nil {
+				continue
+			}
+			model, err := strconv.Unquote(`"` + m[1] + `"`)
+			if err != nil {
+				t.Fatalf("label value %q does not unquote: %v", m[1], err)
+			}
+			perPhase[m[2]] += v
+			if models[m[2]] == nil {
+				models[m[2]] = map[string]bool{}
+			}
+			models[m[2]][model] = true
+		}
+		if len(perPhase) != 3 {
+			t.Fatalf("scrape %d: allocation samples for %d phases, want 3", scrape, len(perPhase))
+		}
+		for ph, sum := range perPhase {
+			if math.Abs(sum-1) > 1e-9 {
+				t.Fatalf("scrape %d: phase %s shares sum to %v, want 1 (snapshot not consistent)", scrape, ph, sum)
+			}
+			if !models[ph][evil] || !models[ph]["sb_ok"] {
+				t.Fatalf("scrape %d: phase %s missing models: %v", scrape, ph, models[ph])
+			}
+		}
+	}
+	close(done)
+	wg.Wait()
+
+	// The exported values match the policy's own snapshot once churn stops.
+	rec := httptest.NewRecorder()
+	srv.ServeHTTP(rec, httptest.NewRequest("GET", "/metrics", nil))
+	values := validatePromText(t, rec.Body.String())
+	for ph, byModel := range ap.Shares() {
+		for model, share := range byModel {
+			key := fmt.Sprintf(`forecache_allocation_share{model="%s",phase="%s"}`,
+				escapeLabel(model), ph.String())
+			got, ok := values[key]
+			if !ok {
+				t.Errorf("missing sample %s", key)
+				continue
+			}
+			if math.Abs(got-share) > 1e-12 {
+				t.Errorf("%s = %v, want %v", key, got, share)
+			}
+		}
 	}
 }
 

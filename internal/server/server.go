@@ -67,10 +67,17 @@ func WithScheduler(sched *prefetch.Scheduler) Option {
 
 // WithMetrics registers a dependency-free Prometheus text-format GET
 // /metrics endpoint exposing server, cache and prefetch-pipeline telemetry
-// (including per-session backpressure and the learned utility curve when
-// the deployment has them).
+// (including per-session backpressure, the learned utility curve and the
+// adaptive allocation shares when the deployment has them).
 func WithMetrics() Option {
 	return func(s *Server) { s.metrics = true }
+}
+
+// WithAllocation attaches the deployment's shared feedback-driven
+// allocation policy so its learned per-(phase, model) budget shares appear
+// under /stats ("allocation") and /metrics (forecache_allocation_share).
+func WithAllocation(p *core.AdaptivePolicy) Option {
+	return func(s *Server) { s.alloc = p }
 }
 
 // session is one live engine plus its eviction bookkeeping.
@@ -88,6 +95,7 @@ type Server struct {
 	factory     EngineFactory
 	mux         *http.ServeMux
 	sched       *prefetch.Scheduler
+	alloc       *core.AdaptivePolicy
 	metrics     bool
 	maxSessions int
 	ttl         time.Duration
@@ -352,9 +360,11 @@ func (s *Server) handleTile(w http.ResponseWriter, r *http.Request) {
 
 // StatsResponse is the /stats payload: the session's cache counters (when
 // the session exists) plus server-wide session and prefetch-pipeline
-// telemetry — including the scheduler's backpressure signal and per-session
-// queue depths (Scheduler.QueueDepths). Asking for an unknown session
-// returns the server-wide fields only — it does not create a session.
+// telemetry — including the scheduler's backpressure signal, per-session
+// queue depths (Scheduler.QueueDepths) and, for deployments with adaptive
+// allocation, the learned per-(phase, model) budget shares. Asking for an
+// unknown session returns the server-wide fields only — it does not create
+// a session.
 type StatsResponse struct {
 	Cache     *cache.Stats    `json:"cache,omitempty"`
 	Sessions  int             `json:"sessions"`
@@ -362,6 +372,9 @@ type StatsResponse struct {
 	Closed    bool            `json:"closed,omitempty"`
 	Pressure  float64         `json:"pressure"`
 	Scheduler *prefetch.Stats `json:"scheduler,omitempty"`
+	// Allocation maps phase name -> model -> current smoothed budget share
+	// of the deployment's shared AdaptivePolicy.
+	Allocation map[string]map[string]float64 `json:"allocation,omitempty"`
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
@@ -385,6 +398,13 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		st := s.sched.Stats()
 		out.Scheduler = &st
 		out.Pressure = st.Pressure
+	}
+	if s.alloc != nil {
+		shares := s.alloc.Shares()
+		out.Allocation = make(map[string]map[string]float64, len(shares))
+		for ph, byModel := range shares {
+			out.Allocation[ph.String()] = byModel
+		}
 	}
 	writeJSON(w, http.StatusOK, out)
 }
