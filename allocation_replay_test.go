@@ -43,12 +43,16 @@ func hybridPriorShare(phase, model string) float64 {
 func TestAdaptiveAllocationReplay(t *testing.T) {
 	ds, traces := testWorld(t)
 	const nTraces = 12
-	run := func(adaptive bool) (hitRate float64, alloc map[string]map[string]float64, metricsBody string) {
-		srv := ds.NewServer(traces, MiddlewareConfig{
+	run := func(adaptive, hotspot bool) (hitRate float64, alloc map[string]map[string]float64, metricsBody string) {
+		srv, err := ds.NewServer(traces, MiddlewareConfig{
 			K: 5, AsyncPrefetch: true, PrefetchWorkers: 4,
 			UtilityLearning: true, AdaptiveAllocation: adaptive,
+			Hotspot:         hotspot,
 			MetricsEndpoint: true, SharedTiles: 64,
 		})
+		if err != nil {
+			t.Fatal(err)
+		}
 		defer srv.Close()
 		ts := httptest.NewServer(srv)
 		defer ts.Close()
@@ -77,7 +81,7 @@ func TestAdaptiveAllocationReplay(t *testing.T) {
 		return float64(hits) / float64(total), stats.Allocation, body.String()
 	}
 
-	staticRate, staticAlloc, staticMetrics := run(false)
+	staticRate, staticAlloc, staticMetrics := run(false, false)
 	if staticAlloc != nil {
 		t.Errorf("static baseline should export no allocation shares: %v", staticAlloc)
 	}
@@ -85,7 +89,7 @@ func TestAdaptiveAllocationReplay(t *testing.T) {
 		t.Error("static baseline /metrics should not export allocation shares")
 	}
 
-	adaptiveRate, alloc, metrics := run(true)
+	adaptiveRate, alloc, metrics := run(true, false)
 	t.Logf("hit rate: static %.4f adaptive %.4f; shares %v", staticRate, adaptiveRate, alloc)
 
 	// 1. Acceptance: adaptive allocation is no worse than the tuned static
@@ -138,6 +142,72 @@ func TestAdaptiveAllocationReplay(t *testing.T) {
 				model, phase, strconv.FormatFloat(share, 'g', -1, 64))
 			if !strings.Contains(metrics, want) {
 				t.Errorf("/metrics missing %q", want)
+			}
+		}
+	}
+
+	// ---- The 3-model configuration (-hotspot -adaptive-allocation): the
+	// registry's third column makes the learned split genuinely 3-way.
+	triRate, triAlloc, triMetrics := run(true, true)
+	t.Logf("3-way hit rate: %.4f (2-way static %.4f, adaptive %.4f); shares %v",
+		triRate, staticRate, adaptiveRate, triAlloc)
+
+	// Acceptance: the 3-way replay is no worse than either 2-way run
+	// (within epsilon: the hotspot's exploration slots have a cost before
+	// its table warms).
+	if triRate < staticRate-epsilon {
+		t.Errorf("3-way hit rate %.4f < 2-way static %.4f - %.2f", triRate, staticRate, epsilon)
+	}
+	if triRate < adaptiveRate-epsilon {
+		t.Errorf("3-way hit rate %.4f < 2-way adaptive %.4f - %.2f", triRate, adaptiveRate, epsilon)
+	}
+
+	// Every phase carries exactly the three registered models, shares sum
+	// to 1, and the floor holds for all of them.
+	if len(triAlloc) != 3 {
+		t.Fatalf("3-way shares cover %d phases, want 3: %v", len(triAlloc), triAlloc)
+	}
+	models := map[string]bool{"markov3": true, "sb:sift": true, "hotspot": true}
+	for phase, byModel := range triAlloc {
+		if len(byModel) != 3 {
+			t.Errorf("phase %s has %d models, want 3: %v", phase, len(byModel), byModel)
+		}
+		sum := 0.0
+		for model, share := range byModel {
+			if !models[model] {
+				t.Errorf("phase %s has unregistered model %q", phase, model)
+			}
+			sum += share
+			if share < allocFloor-1e-9 {
+				t.Errorf("phase %s model %s share %.4f below floor %.2f", phase, model, share, allocFloor)
+			}
+		}
+		if math.Abs(sum-1) > 1e-6 {
+			t.Errorf("phase %s shares sum to %v: %v", phase, sum, byModel)
+		}
+	}
+
+	// Every model earns a non-floor share in at least one phase: the split
+	// is genuinely 3-way, not two real models plus a floor-pinned third.
+	for model := range models {
+		best := 0.0
+		for _, byModel := range triAlloc {
+			if byModel[model] > best {
+				best = byModel[model]
+			}
+		}
+		if best <= allocFloor+0.02 {
+			t.Errorf("model %s never rose above the floor (best share %.4f): not a 3-way split", model, best)
+		}
+	}
+
+	// /stats and /metrics agree point for point on the 3-way shares.
+	for phase, byModel := range triAlloc {
+		for model, share := range byModel {
+			want := fmt.Sprintf(`forecache_allocation_share{model="%s",phase="%s"} %s`,
+				model, phase, strconv.FormatFloat(share, 'g', -1, 64))
+			if !strings.Contains(triMetrics, want) {
+				t.Errorf("3-way /metrics missing %q", want)
 			}
 		}
 	}

@@ -66,7 +66,8 @@ subcommands:
   serve     -seed -size -tile -addr -k [-async] [-prefetch-workers]
             [-prefetch-queue] [-global-queue] [-decay-half-life]
             [-adaptive-k] [-fair-share] [-utility-learning]
-            [-adaptive-allocation] [-metrics]
+            [-adaptive-allocation] [-hotspot] [-alloc-floor]
+            [-alloc-warmup] [-alloc-max-step] [-metrics]
             [-shared-tiles] [-max-sessions] [-session-ttl]
                                           run the HTTP middleware
   explore   -seed -size -tile -moves     walk a move script, print tiles
@@ -159,6 +160,10 @@ func cmdServe(args []string) error {
 	fairShare := fs.Bool("fair-share", true, "scope backpressure per session: the flooding session's K shrinks first (requires -adaptive-k)")
 	utilityLearning := fs.Bool("utility-learning", true, "learn the position-utility curve from observed cache outcomes instead of the static 0.85 decay")
 	adaptiveAllocation := fs.Bool("adaptive-allocation", true, "re-split the per-phase prefetch budget toward the model whose prefetches get consumed (static table as prior)")
+	hotspot := fs.Bool("hotspot", true, "register the online cross-session hotspot recommender as a third model (one shared, decaying popularity table; makes -adaptive-allocation a 3-way split)")
+	allocFloor := fs.Float64("alloc-floor", 0, "adaptive allocation: minimum budget share every model keeps (0 = default 0.1)")
+	allocWarmup := fs.Int("alloc-warmup", 0, "adaptive allocation: per-(phase, model) outcomes before shares move (0 = default 30)")
+	allocMaxStep := fs.Float64("alloc-max-step", 0, "adaptive allocation: per-reallocation share step bound (0 = default 0.02)")
 	metrics := fs.Bool("metrics", true, "expose Prometheus text-format telemetry under GET /metrics")
 	sharedTiles := fs.Int("shared-tiles", 512, "cross-session shared tile pool capacity (0 disables)")
 	maxSessions := fs.Int("max-sessions", 1024, "live session cap, LRU-evicted past it (0 = unlimited)")
@@ -171,7 +176,7 @@ func cmdServe(args []string) error {
 		return err
 	}
 	traces := ds.SimulateStudy(wf.seed)
-	srv := ds.NewServer(traces, forecache.MiddlewareConfig{
+	srv, err := ds.NewServer(traces, forecache.MiddlewareConfig{
 		K:                  *k,
 		AsyncPrefetch:      *async,
 		PrefetchWorkers:    *workers,
@@ -182,16 +187,23 @@ func cmdServe(args []string) error {
 		FairShare:          *fairShare,
 		UtilityLearning:    *utilityLearning,
 		AdaptiveAllocation: *adaptiveAllocation,
+		Hotspot:            *hotspot,
+		AllocationFloor:    *allocFloor,
+		AllocationWarmup:   *allocWarmup,
+		AllocationMaxStep:  *allocMaxStep,
 		MetricsEndpoint:    *metrics,
 		SharedTiles:        *sharedTiles,
 		MaxSessions:        *maxSessions,
 		SessionTTL:         *sessionTTL,
 	})
+	if err != nil {
+		return err
+	}
 	defer srv.Close()
 	mode := "inline prefetch"
 	if *async {
-		mode = fmt.Sprintf("async prefetch: %d workers, queue %d/session, global budget %d, decay half-life %s, adaptive K %v, fair share %v, utility learning %v, adaptive allocation %v",
-			*workers, *queue, *globalQueue, *decayHalfLife, *adaptiveK, *fairShare, *utilityLearning, *adaptiveAllocation)
+		mode = fmt.Sprintf("async prefetch: %d workers, queue %d/session, global budget %d, decay half-life %s, adaptive K %v, fair share %v, utility learning %v, adaptive allocation %v, hotspot %v",
+			*workers, *queue, *globalQueue, *decayHalfLife, *adaptiveK, *fairShare, *utilityLearning, *adaptiveAllocation, *hotspot)
 	}
 	endpoints := "GET /meta, /tile?level=&y=&x=, /stats"
 	if *metrics {

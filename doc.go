@@ -13,7 +13,21 @@
 //     including SIFT bag-of-visual-words (internal/sig);
 //   - the two-level prediction engine (internal/core) over an SVM phase
 //     classifier (internal/svm, internal/phase), a Kneser–Ney Markov chain
-//     (internal/markov) and the recommenders (internal/recommend);
+//     (internal/markov) and the recommenders (internal/recommend). The
+//     recommenders are registered through a registry (recommend.Spec /
+//     recommend.Registry): each spec owns its model's construction, its
+//     training requirement (trace-trained vs online) and its column of
+//     the default per-phase allocation table, so the facade, the server
+//     and the eval harness all build their model sets — and the
+//     allocation policy (core.RegistryPolicy) — from registered specs
+//     instead of hard-coded wiring. Three recommenders ship registered:
+//     the Actions-Based Markov model (trace-trained, immutable, shared by
+//     every session), the Signature-Based visual-similarity model
+//     (online, fresh per session) and the cross-session Hotspot model
+//     (online, one deployment-wide lock-striped table of EWMA-decayed
+//     per-zoom-level consumption frequencies, seeded from the training
+//     traces and fed live from the cache outcome stream — enabled with
+//     MiddlewareConfig.Hotspot / serve -hotspot);
 //   - the middleware cache (internal/cache), the latency-modeling DBMS
 //     adapter (internal/backend) and the HTTP boundary (internal/server,
 //     internal/client);
@@ -40,11 +54,16 @@
 //     admission control. With AdaptiveAllocation the same outcomes drive
 //     the allocation strategy itself: a shared core.AdaptivePolicy
 //     re-splits each request's prefetch budget k per phase toward the
-//     model whose prefetches actually get consumed — the paper's fixed
-//     §5.4.3 table is the prior until a phase warms up, every model keeps
-//     a floor share for exploration, and hysteresis bounds how fast
-//     shares move, so the learned split converges instead of thrashing
-//     (the learned shares appear under /stats and as
+//     model whose prefetches actually get consumed — the registry's
+//     prior table (the paper's §5.4.3, extended with a hotspot column
+//     when the hotspot model is registered) is the prior until a phase
+//     warms up, every model keeps a floor share for exploration
+//     (tunable, with warmup and step bound, via
+//     AllocationFloor/AllocationWarmup/AllocationMaxStep), hysteresis
+//     bounds how fast shares move, and stale evidence decays with a
+//     half-life so a dataset shift re-learns the split instead of being
+//     pinned by history. With three registered models the learned split
+//     is genuinely 3-way (the learned shares appear under /stats and as
 //     forecache_allocation_share{phase,model} gauges). NewServer wires
 //     one scheduler
 //     (plus an optional cross-session tile pool and bounded session table)

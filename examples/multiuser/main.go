@@ -33,7 +33,7 @@ func main() {
 	}
 	traces := ds.SimulateStudy(7)
 	const globalQueueBudget = 128 // queued prefetch entries across ALL sessions
-	srv := ds.NewServer(traces, forecache.MiddlewareConfig{
+	srv, err := ds.NewServer(traces, forecache.MiddlewareConfig{
 		K:                  5,
 		AsyncPrefetch:      true, // submit-and-return prefetching
 		PrefetchWorkers:    4,    // concurrent DBMS fetch budget
@@ -43,11 +43,15 @@ func main() {
 		FairShare:          true,             // ...the flooding session's K first
 		UtilityLearning:    true,             // fit the position curve from consumption
 		AdaptiveAllocation: true,             // budget share follows consumption per phase
+		Hotspot:            true,             // third model: shared cross-session popularity
 		MetricsEndpoint:    true,             // Prometheus text under GET /metrics
 		SharedTiles:        256,              // cross-session tile pool
 		MaxSessions:        64,               // LRU session cap
 		SessionTTL:         30 * time.Minute, // idle sessions are evicted
 	})
+	if err != nil {
+		log.Fatal(err)
+	}
 	defer srv.Close()
 
 	// An in-process HTTP server keeps the example self-contained; swap in
@@ -128,10 +132,13 @@ func main() {
 	}
 	fmt.Println()
 
-	// The same outcomes also drive the adaptive allocation policy: the
-	// paper's fixed per-phase budget table is the prior, and each phase's
-	// split drifts toward the model whose prefetches the analysts actually
-	// consumed (scrapeable as forecache_allocation_share{phase,model}).
+	// The same outcomes also drive the adaptive allocation policy — here a
+	// genuinely 3-way split: the registry's prior table (the paper's
+	// §5.4.3 extended with the hotspot column) is the prior, and each
+	// phase's split drifts across the Markov, signature and cross-session
+	// hotspot models toward whichever one's prefetches the analysts
+	// actually consumed (scrapeable as
+	// forecache_allocation_share{phase,model}).
 	if resp, err := ts.Client().Get(ts.URL + "/stats"); err == nil {
 		var stats struct {
 			Allocation map[string]map[string]float64 `json:"allocation"`

@@ -217,13 +217,40 @@ type MiddlewareConfig struct {
 	// per-(phase, model) consumption outcomes drive a shared
 	// core.AdaptivePolicy that re-splits each session's prefetch budget k
 	// per phase toward the model whose prefetches actually get consumed —
-	// the paper's fixed §5.4.3 table becomes the prior, every model keeps
-	// a floor share for exploration, and shares move with hysteresis so
-	// the split cannot thrash. The learned shares are exported under
+	// the registry's prior table (the paper's §5.4.3, extended with a
+	// hotspot column when Hotspot is on) becomes the prior, every model
+	// keeps a floor share for exploration, and shares move with hysteresis
+	// so the split cannot thrash. The learned shares are exported under
 	// /stats ("allocation") and /metrics (forecache_allocation_share).
 	// Works with or without AsyncPrefetch (outcomes flow through the
 	// feedback loop in both modes); independent of UtilityLearning.
 	AdaptiveAllocation bool
+	// AllocationFloor, AllocationWarmup and AllocationMaxStep tune the
+	// adaptive allocation policy (core.AdaptiveConfig): the minimum budget
+	// share every model keeps once shares move (default 0.1), the
+	// per-(phase, model) outcome count below which a phase keeps the prior
+	// split (default 30), and the per-reallocation hysteresis bound on the
+	// fastest-moving share (default 0.02). Zero means default; out-of-range
+	// values (floor outside [0,1), negative warmup, step outside (0,1])
+	// are construction errors. Only meaningful with AdaptiveAllocation.
+	AllocationFloor   float64
+	AllocationWarmup  int
+	AllocationMaxStep float64
+	// Hotspot registers the third recommender: the online, training-free
+	// cross-session hotspot model. One deployment-wide, lock-striped
+	// counter table learns which tiles the whole population recently
+	// consumed (per zoom level, EWMA-decayed, fed from the same cache
+	// outcomes the feedback loops drain) and every session's engine ranks
+	// candidates against it. The prior allocation table grows a hotspot
+	// column (one slot per phase at k >= 3), and with AdaptiveAllocation
+	// the per-phase split becomes genuinely 3-way.
+	Hotspot bool
+	// Artifacts supplies an already-trained artifact bundle (Dataset.Train)
+	// so construction performs no training at all: NewMiddleware and
+	// NewServer reuse the bundle's shared recommender artifacts and phase
+	// classifier. The bundle must come from the same Dataset and a config
+	// with the same model shape (ABOrder, SBSignatures, Hotspot).
+	Artifacts *Artifacts
 	// MetricsEndpoint registers a dependency-free Prometheus text-format
 	// GET /metrics endpoint on the server: scheduler counters, global and
 	// per-session backpressure, aggregate cache hit rates, the learned
@@ -275,30 +302,59 @@ func (c MiddlewareConfig) withDefaults() MiddlewareConfig {
 	return c
 }
 
-// trainedModels bundles the immutable artifacts one training pass
-// produces: the Kneser–Ney Markov chain behind the AB recommender and the
-// fitted SVM phase classifier. Both are read-only after training, so one
-// bundle is safely shared by every session engine of a deployment.
-type trainedModels struct {
-	ab  *recommend.AB
+// Artifacts bundles the immutable, shareable output of one training pass:
+// the registry-built recommender artifact set (the trained Kneser–Ney
+// Markov chain, the SB stamp, the shared hotspot counter table when the
+// config registers one) and the fitted SVM phase classifier. One bundle is
+// safely shared by every session engine of a deployment — and, via
+// MiddlewareConfig.Artifacts, by several middleware constructions, which
+// then perform no training at all.
+type Artifacts struct {
+	set *recommend.Set
 	cls *phase.Classifier
 }
 
-// trainHook, when non-nil, is invoked with "markov" / "classifier" each
-// time the corresponding artifact is actually trained. It is a test seam:
-// the server tests use it to prove that session creation performs zero
-// training (see TestServerTrainsModelsOnce).
+// Models returns the bundle's recommender names in registry order.
+func (a *Artifacts) Models() []string { return a.set.Names() }
+
+// trainHook, when non-nil, is invoked with the artifact name (the Markov
+// model's name, "classifier") each time an artifact is actually trained.
+// It is a test seam: the server tests use it to prove that session
+// creation — and construction from a supplied Artifacts bundle — performs
+// zero training (see TestServerTrainsModelsOnce).
 var trainHook func(artifact string)
 
-// trainModels runs the deployment's one training pass over the study
-// traces (Markov chain + phase classifier).
-func (d *Dataset) trainModels(train []*trace.Trace, cfg MiddlewareConfig) (*trainedModels, error) {
-	if trainHook != nil {
-		trainHook("markov")
+// registry composes the deployment's recommender registry from the config:
+// the paper's AB+SB pair, plus the online hotspot column when cfg.Hotspot
+// is set. This is the single site deciding which recommenders a deployment
+// runs; everything downstream (model sets, the prior allocation table, the
+// adaptive split, /stats and /metrics labels) follows the registry.
+func (d *Dataset) registry(cfg MiddlewareConfig) (*recommend.Registry, error) {
+	var hs *recommend.HotspotConfig
+	if cfg.Hotspot {
+		hs = &recommend.HotspotConfig{}
 	}
-	ab, err := recommend.NewAB(cfg.ABOrder, train)
+	return recommend.NewRegistry(recommend.DefaultSpecs(cfg.ABOrder, cfg.SBSignatures, hs)...)
+}
+
+// Train runs the deployment's one training pass over the study traces:
+// every trace-trained registry artifact (the Markov chain) plus the phase
+// classifier. The returned bundle can be passed to any number of
+// NewMiddleware / NewServer calls via MiddlewareConfig.Artifacts, which
+// then skip training entirely.
+func (d *Dataset) Train(train []*trace.Trace, cfg MiddlewareConfig) (*Artifacts, error) {
+	cfg = cfg.withDefaults()
+	return d.train(train, cfg)
+}
+
+func (d *Dataset) train(train []*trace.Trace, cfg MiddlewareConfig) (*Artifacts, error) {
+	reg, err := d.registry(cfg)
 	if err != nil {
-		return nil, err
+		return nil, fmt.Errorf("forecache: %w", err)
+	}
+	set, err := reg.Build(recommend.Env{Tiles: d.Pyramid, Traces: train, TrainHook: trainHook})
+	if err != nil {
+		return nil, fmt.Errorf("forecache: %w", err)
 	}
 	reqs := phase.Requests(train)
 	if len(reqs) > cfg.MaxClassifierRequests {
@@ -311,49 +367,82 @@ func (d *Dataset) trainModels(train []*trace.Trace, cfg MiddlewareConfig) (*trai
 	if err != nil {
 		return nil, fmt.Errorf("forecache: train phase classifier: %w", err)
 	}
-	return &trainedModels{ab: ab, cls: cls}, nil
+	return &Artifacts{set: set, cls: cls}, nil
+}
+
+// artifacts returns the bundle the construction should use: the supplied
+// one (no training, after checking it carries exactly the models the
+// config asks for — silently serving a different model set than the
+// operator configured would be worse than retraining) or a fresh training
+// pass over the traces.
+func (d *Dataset) artifacts(train []*trace.Trace, cfg MiddlewareConfig) (*Artifacts, error) {
+	if cfg.Artifacts == nil {
+		return d.train(train, cfg)
+	}
+	reg, err := d.registry(cfg)
+	if err != nil {
+		return nil, fmt.Errorf("forecache: %w", err)
+	}
+	want := make([]string, 0, len(reg.Specs()))
+	for _, s := range reg.Specs() {
+		want = append(want, s.Name)
+	}
+	got := cfg.Artifacts.Models()
+	match := len(got) == len(want)
+	for i := 0; match && i < len(want); i++ {
+		match = got[i] == want[i]
+	}
+	if !match {
+		return nil, fmt.Errorf("forecache: supplied artifacts carry models %v but the config (ABOrder/SBSignatures/Hotspot) expects %v", got, want)
+	}
+	return cfg.Artifacts, nil
 }
 
 // NewMiddleware builds the paper's full two-level middleware for one
-// session: phase classifier and Markov chain trained on the given traces,
-// SIFT-based SB model over the dataset's signatures, hybrid allocation
-// policy, cache manager and DBMS adapter. The engine prefetches
+// session: phase classifier and Markov chain trained on the given traces
+// (or reused from cfg.Artifacts, in which case no training happens),
+// SIFT-based SB model over the dataset's signatures, the registry's
+// allocation table, cache manager and DBMS adapter. The engine prefetches
 // synchronously (the deterministic mode the eval harness replays); the
 // asynchronous shared pipeline is a NewServer concern.
 func (d *Dataset) NewMiddleware(train []*trace.Trace, cfg MiddlewareConfig) (*core.Engine, error) {
 	cfg = cfg.withDefaults()
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
 	db := backend.NewDBMS(d.Pyramid, cfg.Latency, cfg.Clock)
-	tm, err := d.trainModels(train, cfg)
+	arts, err := d.artifacts(train, cfg)
 	if err != nil {
 		return nil, err
 	}
-	return d.assembleEngine(db, tm, cfg)
+	var opts []core.Option
+	if hs := arts.set.Hotspot(); hs != nil {
+		opts = append(opts, core.WithConsumption(hs))
+	}
+	return d.assembleEngine(db, arts, cfg, opts...)
 }
 
-// newSB builds the per-session Signature-Based recommender (its ROI
-// tracker is mutable, so unlike the AB model it cannot be shared).
-func (d *Dataset) newSB(cfg MiddlewareConfig) *recommend.SB {
-	return recommend.NewSB(d.Pyramid, recommend.WithSignatures(cfg.SBSignatures...))
-}
-
-// enginePolicy is the SINGLE construction site for the static per-session
-// allocation policy (the paper's §5.4.3 hybrid table) over the
-// deployment's model names. Session assembly and the AdaptivePolicy prior
-// both use it, so the learned split's prior and model list can never
-// diverge from the table the engines fall back to.
-func (d *Dataset) enginePolicy(tm *trainedModels, cfg MiddlewareConfig) core.HybridPolicy {
-	return core.NewHybridPolicy(tm.ab.Name(), d.newSB(cfg).Name())
+// validate rejects nonsensical tuning values with a construction error
+// instead of serving with silently-clamped settings.
+func (c MiddlewareConfig) validate() error {
+	cfg := core.AdaptiveConfig{Floor: c.AllocationFloor, Warmup: c.AllocationWarmup, MaxStep: c.AllocationMaxStep}
+	if err := cfg.Validate(); err != nil {
+		return fmt.Errorf("forecache: %w", err)
+	}
+	return nil
 }
 
 // assembleEngine builds one two-level engine over an existing store and an
-// already-trained model bundle, so several sessions can share a DBMS
-// adapter, pool, scheduler, classifier and Markov chain. Only the cheap
-// per-session state is fresh: the SB recommender (its ROI tracker is
-// mutable), the cache manager and the history window.
-func (d *Dataset) assembleEngine(store backend.Store, tm *trainedModels, cfg MiddlewareConfig, opts ...core.Option) (*core.Engine, error) {
-	sb := d.newSB(cfg)
-	return core.NewEngine(store, tm.cls, d.enginePolicy(tm, cfg),
-		[]recommend.Model{tm.ab, sb}, core.Config{K: cfg.K, D: cfg.D, HistoryLen: cfg.HistoryLen}, opts...)
+// already-trained artifact bundle, so several sessions can share a DBMS
+// adapter, pool, scheduler, classifier and every shared recommender
+// artifact. Only the cheap per-session state is fresh: the SB recommender
+// (its ROI tracker is mutable), the cache manager and the history window.
+// Models and the static allocation policy both come from the registry set,
+// so the learned split's prior and model list can never diverge from the
+// table the engines fall back to.
+func (d *Dataset) assembleEngine(store backend.Store, arts *Artifacts, cfg MiddlewareConfig, opts ...core.Option) (*core.Engine, error) {
+	return core.NewEngineFromSet(store, arts.cls, arts.set,
+		core.Config{K: cfg.K, D: cfg.D, HistoryLen: cfg.HistoryLen}, opts...)
 }
 
 // NewServer wraps the dataset in an HTTP middleware server; each session
@@ -363,21 +452,25 @@ func (d *Dataset) assembleEngine(store backend.Store, tm *trainedModels, cfg Mid
 // multi-user scale. Call Close on the returned server to stop the
 // scheduler's workers.
 //
-// The phase classifier and the AB recommender's Markov chain are trained
-// exactly once, here, and the immutable trained artifacts are shared by
-// every session engine: creating the 2nd..Nth session performs no training
-// and is O(1). (Earlier versions retrained both models per session.) A
-// training failure is reported by the first session request. The scheduler
-// is sized by PrefetchWorkers / PrefetchQueue / GlobalQueueBudget /
-// DecayHalfLife; AdaptiveK closes the backpressure loop from its Pressure
-// signal back into each engine's prefetch budget (per-session with
-// FairShare), UtilityLearning closes the prediction-quality loop from
-// cache outcomes back into admission control, AdaptiveAllocation closes
-// the budget-allocation loop from the same outcomes back into the
-// per-phase model split, and MetricsEndpoint exposes all of it as
-// Prometheus text under GET /metrics.
-func (d *Dataset) NewServer(train []*trace.Trace, cfg MiddlewareConfig) *server.Server {
+// The recommender registry's shared artifacts (the Markov chain, the
+// hotspot counter table) and the phase classifier are trained/built
+// exactly once, here — or reused from cfg.Artifacts — and shared by every
+// session engine: creating the 2nd..Nth session performs no training and
+// is O(1). Construction returns an error for invalid tuning values or a
+// failed training pass. The scheduler is sized by PrefetchWorkers /
+// PrefetchQueue / GlobalQueueBudget / DecayHalfLife; AdaptiveK closes the
+// backpressure loop from its Pressure signal back into each engine's
+// prefetch budget (per-session with FairShare), UtilityLearning closes
+// the prediction-quality loop from cache outcomes back into admission
+// control, AdaptiveAllocation closes the budget-allocation loop from the
+// same outcomes back into the per-phase model split (2-way, or 3-way with
+// Hotspot), and MetricsEndpoint exposes all of it as Prometheus text
+// under GET /metrics.
+func (d *Dataset) NewServer(train []*trace.Trace, cfg MiddlewareConfig) (*server.Server, error) {
 	cfg = cfg.withDefaults()
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
 	meta := server.Meta{
 		Levels:   d.Pyramid.NumLevels(),
 		TileSize: d.Pyramid.TileSize(),
@@ -388,6 +481,10 @@ func (d *Dataset) NewServer(train []*trace.Trace, cfg MiddlewareConfig) *server.
 	if cfg.SharedTiles > 0 {
 		store = backend.NewSharedPool(db, cfg.SharedTiles)
 	}
+	arts, err := d.artifacts(train, cfg)
+	if err != nil {
+		return nil, err
+	}
 	// The feedback collector exists whenever some loop consumes outcomes:
 	// UtilityLearning prices scheduler admission with it (async only),
 	// AdaptiveAllocation re-splits the budget with it (either mode).
@@ -396,6 +493,28 @@ func (d *Dataset) NewServer(train []*trace.Trace, cfg MiddlewareConfig) *server.
 	var opts []server.Option
 	if (cfg.UtilityLearning && cfg.AsyncPrefetch) || cfg.AdaptiveAllocation {
 		fc = prefetch.NewFeedbackCollector(cfg.K)
+	}
+	// One AdaptivePolicy is shared by every session engine, so the learned
+	// per-phase split reflects the whole deployment's traffic and the
+	// server can export it once (/stats, /metrics). Its model list and
+	// prior both come from the registry set, so a third registered
+	// recommender makes the split 3-way with no further wiring. Built
+	// before the scheduler so no worker pool leaks on a construction error.
+	var adaptive *core.AdaptivePolicy
+	if cfg.AdaptiveAllocation {
+		base, err := core.NewRegistryPolicy(arts.set.Columns())
+		if err != nil {
+			return nil, fmt.Errorf("forecache: adaptive allocation: %w", err)
+		}
+		adaptive, err = core.NewAdaptivePolicy(base, arts.set.Names(), fc, core.AdaptiveConfig{
+			Floor:   cfg.AllocationFloor,
+			Warmup:  cfg.AllocationWarmup,
+			MaxStep: cfg.AllocationMaxStep,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("forecache: adaptive allocation: %w", err)
+		}
+		opts = append(opts, server.WithAllocation(adaptive))
 	}
 	if cfg.AsyncPrefetch {
 		var util *prefetch.FeedbackCollector
@@ -420,28 +539,8 @@ func (d *Dataset) NewServer(train []*trace.Trace, cfg MiddlewareConfig) *server.
 	if cfg.SessionTTL > 0 {
 		opts = append(opts, server.WithSessionTTL(cfg.SessionTTL))
 	}
-	tm, trainErr := d.trainModels(train, cfg)
-	// One AdaptivePolicy is shared by every session engine, so the learned
-	// per-phase split reflects the whole deployment's traffic and the
-	// server can export it once (/stats, /metrics).
-	var adaptive *core.AdaptivePolicy
-	if cfg.AdaptiveAllocation && trainErr == nil {
-		base := d.enginePolicy(tm, cfg)
-		p, err := core.NewAdaptivePolicy(base,
-			[]string{base.ABName, base.SBName}, fc, core.AdaptiveConfig{})
-		if err != nil {
-			// Surface like a training failure — on the first session request
-			// — instead of silently serving with adaptation disabled.
-			trainErr = fmt.Errorf("forecache: adaptive allocation: %w", err)
-		} else {
-			adaptive = p
-			opts = append(opts, server.WithAllocation(adaptive))
-		}
-	}
+	hotspot := arts.set.Hotspot()
 	factory := func(session string) (*core.Engine, error) {
-		if trainErr != nil {
-			return nil, trainErr
-		}
 		var engOpts []core.Option
 		if sched != nil {
 			engOpts = append(engOpts, core.WithScheduler(sched, session))
@@ -455,10 +554,13 @@ func (d *Dataset) NewServer(train []*trace.Trace, cfg MiddlewareConfig) *server.
 		if fc != nil {
 			engOpts = append(engOpts, core.WithFeedback(fc))
 		}
+		if hotspot != nil {
+			engOpts = append(engOpts, core.WithConsumption(hotspot))
+		}
 		if adaptive != nil {
 			engOpts = append(engOpts, core.WithAdaptiveAllocation(adaptive))
 		}
-		return d.assembleEngine(store, tm, cfg, engOpts...)
+		return d.assembleEngine(store, arts, cfg, engOpts...)
 	}
-	return server.New(meta, factory, opts...)
+	return server.New(meta, factory, opts...), nil
 }

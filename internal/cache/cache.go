@@ -57,11 +57,14 @@ func (s Stats) HitRate() float64 {
 // new one is judged at its own position (and under the phase then in
 // effect). The phase lets the feedback loop keep per-(phase, model)
 // consumption tallies: the raw signal the adaptive allocation policy
-// re-splits the prefetch budget from.
+// re-splits the prefetch budget from. Coord names the tile itself, so
+// population-level consumers (the cross-session hotspot model) can learn
+// WHICH tiles get consumed, not just whose predictions do.
 type Outcome struct {
 	Model    string
 	Position int
 	Phase    trace.Phase
+	Coord    tile.Coord
 	Hit      bool
 }
 
@@ -216,7 +219,7 @@ func (m *Manager) evictRegionLocked(model string, pt *predTile) {
 	m.indexRemoveLocked(model, pt.t.Coord)
 	m.stats.Evicted++
 	if !pt.consumed {
-		m.recordOutcomeLocked(Outcome{Model: model, Position: pt.pos, Phase: pt.ph, Hit: false})
+		m.recordOutcomeLocked(Outcome{Model: model, Position: pt.pos, Phase: pt.ph, Coord: pt.t.Coord, Hit: false})
 	}
 }
 
@@ -291,7 +294,7 @@ func (m *Manager) FillPredictions(model string, tiles []*tile.Tile, ph trace.Pha
 		m.indexRemoveLocked(model, pt.t.Coord)
 		m.stats.Evicted++
 		if !pt.consumed && !incoming[pt.t.Coord] {
-			m.recordOutcomeLocked(Outcome{Model: model, Position: pt.pos, Phase: pt.ph, Hit: false})
+			m.recordOutcomeLocked(Outcome{Model: model, Position: pt.pos, Phase: pt.ph, Coord: pt.t.Coord, Hit: false})
 		}
 	}
 	region := make([]*predTile, 0, len(tiles))
@@ -368,7 +371,7 @@ func (m *Manager) Lookup(c tile.Coord) (*tile.Tile, bool) {
 			for _, ref := range e.refs {
 				if !ref.pt.consumed {
 					ref.pt.consumed = true
-					m.recordOutcomeLocked(Outcome{Model: ref.model, Position: ref.pt.pos, Phase: ref.pt.ph, Hit: true})
+					m.recordOutcomeLocked(Outcome{Model: ref.model, Position: ref.pt.pos, Phase: ref.pt.ph, Coord: c, Hit: true})
 				}
 			}
 			m.stats.Hits++

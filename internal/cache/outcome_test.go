@@ -36,7 +36,7 @@ func TestOutcomeHitAttribution(t *testing.T) {
 	if _, ok := m.Lookup(tiles[1].Coord); !ok {
 		t.Fatal("second lookup should still hit")
 	}
-	drain(t, m, []Outcome{{Model: "ab", Position: 1, Phase: trace.Foraging, Hit: true}})
+	drain(t, m, []Outcome{{Model: "ab", Position: 1, Phase: trace.Foraging, Coord: tiles[1].Coord, Hit: true}})
 
 	// An overall miss emits no position outcome: nothing predicted it.
 	if _, ok := m.Lookup(tile.Coord{Level: 5}); ok {
@@ -92,8 +92,8 @@ func TestOutcomeMissOnReplacement(t *testing.T) {
 	c, d := mkTile(2, 1, 0), mkTile(2, 1, 1)
 	m.FillPredictions("ab", []*tile.Tile{c, d}, trace.Foraging)
 	drain(t, m, []Outcome{
-		{Model: "ab", Position: 0, Phase: trace.Foraging, Hit: true},
-		{Model: "ab", Position: 1, Phase: trace.Foraging, Hit: false},
+		{Model: "ab", Position: 0, Phase: trace.Foraging, Coord: a.Coord, Hit: true},
+		{Model: "ab", Position: 1, Phase: trace.Foraging, Coord: b.Coord, Hit: false},
 	})
 }
 
@@ -106,12 +106,12 @@ func TestOutcomeRefreshIsNotJudged(t *testing.T) {
 	// b is re-predicted (now at rank 0): no outcome for the old instance;
 	// a leaves unconsumed: miss at position 0.
 	m.FillPredictions("ab", []*tile.Tile{b, mkTile(2, 1, 1)}, trace.Foraging)
-	drain(t, m, []Outcome{{Model: "ab", Position: 0, Phase: trace.Foraging, Hit: false}})
+	drain(t, m, []Outcome{{Model: "ab", Position: 0, Phase: trace.Foraging, Coord: a.Coord, Hit: false}})
 	// Consuming b now credits its refreshed position 0.
 	if _, ok := m.Lookup(b.Coord); !ok {
 		t.Fatal("refreshed tile should hit")
 	}
-	drain(t, m, []Outcome{{Model: "ab", Position: 0, Phase: trace.Foraging, Hit: true}})
+	drain(t, m, []Outcome{{Model: "ab", Position: 0, Phase: trace.Foraging, Coord: b.Coord, Hit: true}})
 }
 
 func TestOutcomeAsyncRingEviction(t *testing.T) {
@@ -122,11 +122,11 @@ func TestOutcomeAsyncRingEviction(t *testing.T) {
 	m.InsertPrediction("ab", a, 0, trace.Foraging)
 	m.InsertPrediction("ab", b, 1, trace.Foraging)
 	m.InsertPrediction("ab", c, 2, trace.Foraging) // rings a out, unconsumed: miss at pos 0
-	drain(t, m, []Outcome{{Model: "ab", Position: 0, Phase: trace.Foraging, Hit: false}})
+	drain(t, m, []Outcome{{Model: "ab", Position: 0, Phase: trace.Foraging, Coord: a.Coord, Hit: false}})
 	if _, ok := m.Lookup(c.Coord); !ok {
 		t.Fatal("newest prediction should hit")
 	}
-	drain(t, m, []Outcome{{Model: "ab", Position: 2, Phase: trace.Foraging, Hit: true}})
+	drain(t, m, []Outcome{{Model: "ab", Position: 2, Phase: trace.Foraging, Coord: c.Coord, Hit: true}})
 }
 
 func TestOutcomeAllocationLossJudged(t *testing.T) {
@@ -185,8 +185,8 @@ func TestOutcomePhaseAttribution(t *testing.T) {
 	m.InsertPrediction("ab", mkTile(2, 1, 0), 0, trace.Foraging)
 	m.InsertPrediction("ab", mkTile(2, 1, 1), 1, trace.Foraging)
 	drain(t, m, []Outcome{
-		{Model: "ab", Position: 0, Phase: trace.Sensemaking, Hit: true},
-		{Model: "ab", Position: 0, Phase: trace.Navigation, Hit: false},
+		{Model: "ab", Position: 0, Phase: trace.Sensemaking, Coord: a.Coord, Hit: true},
+		{Model: "ab", Position: 0, Phase: trace.Navigation, Coord: b.Coord, Hit: false},
 	})
 }
 

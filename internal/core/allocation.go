@@ -42,16 +42,33 @@ type AdaptiveConfig struct {
 }
 
 func (c AdaptiveConfig) withDefaults() AdaptiveConfig {
-	if c.Floor <= 0 {
+	if c.Floor == 0 {
 		c.Floor = 0.1
 	}
-	if c.Warmup <= 0 {
+	if c.Warmup == 0 {
 		c.Warmup = 30
 	}
-	if c.MaxStep <= 0 {
+	if c.MaxStep == 0 {
 		c.MaxStep = 0.02
 	}
 	return c
+}
+
+// Validate rejects out-of-range tuning values. Zero means "use the
+// default" everywhere, so only genuinely nonsensical settings fail:
+// a negative or >= 1 floor (the floor is a share, and every model must
+// keep one), a negative warmup, or a step outside (0, 1].
+func (c AdaptiveConfig) Validate() error {
+	if c.Floor < 0 || c.Floor >= 1 {
+		return fmt.Errorf("core: allocation floor %v outside [0, 1)", c.Floor)
+	}
+	if c.Warmup < 0 {
+		return fmt.Errorf("core: allocation warmup %d is negative", c.Warmup)
+	}
+	if c.MaxStep < 0 || c.MaxStep > 1 {
+		return fmt.Errorf("core: allocation max step %v outside (0, 1]", c.MaxStep)
+	}
+	return nil
 }
 
 // phaseShares is one phase's allocation state.
@@ -102,6 +119,9 @@ func NewAdaptivePolicy(base AllocationPolicy, models []string, fb AllocationFeed
 			return nil, fmt.Errorf("core: duplicate model %q in adaptive policy", m)
 		}
 		seen[m] = true
+	}
+	if err := cfg.Validate(); err != nil {
+		return nil, err
 	}
 	cfg = cfg.withDefaults()
 	if max := 1 / float64(len(models)); cfg.Floor > max {

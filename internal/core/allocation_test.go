@@ -312,7 +312,7 @@ func TestAdaptiveDeterministicRoundingTies(t *testing.T) {
 func TestEngineWithAdaptiveAllocation(t *testing.T) {
 	db := testDBMS(t)
 	mom := recommend.NewMomentum()
-	hot := recommend.NewHotspot(zoomTraces(4), 4, 1)
+	hot := recommend.NewTraceHotspot(zoomTraces(4), 4, 1)
 	base := OriginalPolicy{ABName: mom.Name(), SBName: hot.Name()}
 	r := newFakeRater()
 	p := mustAdaptive(t, base, []string{mom.Name(), hot.Name()}, r, AdaptiveConfig{Floor: 0.1, MaxStep: 1})

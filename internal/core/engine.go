@@ -101,6 +101,17 @@ type FeedbackObserver interface {
 	Observe(ph trace.Phase, model string, pos int, hit bool)
 }
 
+// ConsumptionObserver receives the coordinates of consumed prefetched
+// tiles, deduplicated per request: where FeedbackObserver judges each
+// MODEL's prediction (so agreeing models all get credit), a
+// ConsumptionObserver is told once that the TILE was consumed. It is fed
+// from the same cache.Outcome stream, and is how the deployment-wide
+// hotspot recommender (*recommend.Hotspot) learns cross-session
+// consumption frequencies.
+type ConsumptionObserver interface {
+	ObserveConsumption(c tile.Coord, ph trace.Phase)
+}
+
 // Option customizes an Engine beyond Config.
 type Option func(*Engine)
 
@@ -147,7 +158,20 @@ func WithFairShare() Option {
 func WithFeedback(obs FeedbackObserver) Option {
 	return func(e *Engine) {
 		e.feedback = obs
-		e.cache.TrackOutcomes(obs != nil)
+		e.cache.TrackOutcomes(e.feedback != nil || e.consumption != nil)
+	}
+}
+
+// WithConsumption routes the coordinates of consumed prefetched tiles
+// (one call per tile per request, however many models predicted it) to
+// obs. Sharing one *recommend.Hotspot across a deployment's engines this
+// way is what turns per-session cache outcomes into the population-level
+// hotspot signal. Independent of WithFeedback; either alone enables
+// outcome tracking.
+func WithConsumption(obs ConsumptionObserver) Option {
+	return func(e *Engine) {
+		e.consumption = obs
+		e.cache.TrackOutcomes(e.feedback != nil || e.consumption != nil)
 	}
 }
 
@@ -190,16 +214,17 @@ func adaptiveBudget(k int, pressure float64) int {
 // manager + DBMS adapter (Figure 5). It is safe for concurrent use, though
 // a session's requests are inherently sequential.
 type Engine struct {
-	cfg        Config
-	db         backend.Store
-	classifier *phase.Classifier // nil => phase always PhaseUnknown
-	policy     AllocationPolicy
-	models     map[string]recommend.Model
-	sched      Submitter // nil => inline synchronous prefetch
-	session    string
-	adaptiveK  bool             // shrink K under scheduler backpressure
-	fairShare  bool             // use the per-session fair-share signal
-	feedback   FeedbackObserver // nil => outcomes are not tracked
+	cfg         Config
+	db          backend.Store
+	classifier  *phase.Classifier // nil => phase always PhaseUnknown
+	policy      AllocationPolicy
+	models      map[string]recommend.Model
+	sched       Submitter // nil => inline synchronous prefetch
+	session     string
+	adaptiveK   bool                // shrink K under scheduler backpressure
+	fairShare   bool                // use the per-session fair-share signal
+	feedback    FeedbackObserver    // per-(model, position, phase) outcome sink
+	consumption ConsumptionObserver // per-tile consumption sink (hotspot)
 
 	mu      sync.Mutex
 	cache   *cache.Manager
@@ -258,6 +283,24 @@ func NewEngine(db backend.Store, classifier *phase.Classifier, policy Allocation
 		}
 	}
 	return e, nil
+}
+
+// NewEngineFromSet assembles an engine whose model set AND allocation
+// policy both come from a registry-built recommend.Set: the per-session
+// models are stamped out of the set's shared artifacts and the policy is
+// the set's prior-column table (optionally swapped for the deployment's
+// shared AdaptivePolicy via WithAdaptiveAllocation). This is the
+// registry-era construction path — adding a recommender to the set adds a
+// model and a policy column here with no engine-side wiring.
+func NewEngineFromSet(db backend.Store, classifier *phase.Classifier, set *recommend.Set, cfg Config, opts ...Option) (*Engine, error) {
+	if set == nil {
+		return nil, fmt.Errorf("core: nil recommender set")
+	}
+	policy, err := NewRegistryPolicy(set.Columns())
+	if err != nil {
+		return nil, err
+	}
+	return NewEngine(db, classifier, policy, set.Session(), cfg, opts...)
 }
 
 // Async reports whether prefetching is routed through a shared scheduler.
@@ -404,10 +447,23 @@ func (e *Engine) Request(c tile.Coord) (*Response, error) {
 	// consumption, misses at eviction — including evictions the allocation
 	// change above just caused) to the deployment's feedback collector, so
 	// the scheduler's position-utility curve and the adaptive policy's
-	// per-(phase, model) split track real consumption.
-	if e.feedback != nil {
+	// per-(phase, model) split track real consumption — and the consumed
+	// coordinates to the consumption sink (the cross-session hotspot
+	// table), deduplicated so a tile several models predicted counts as
+	// one consumption, not one per agreeing model.
+	if e.feedback != nil || e.consumption != nil {
+		var consumed map[tile.Coord]bool
 		for _, o := range e.cache.TakeOutcomes() {
-			e.feedback.Observe(o.Phase, o.Model, o.Position, o.Hit)
+			if e.feedback != nil {
+				e.feedback.Observe(o.Phase, o.Model, o.Position, o.Hit)
+			}
+			if e.consumption != nil && o.Hit && !consumed[o.Coord] {
+				if consumed == nil {
+					consumed = make(map[tile.Coord]bool, 4)
+				}
+				consumed[o.Coord] = true
+				e.consumption.ObserveConsumption(o.Coord, o.Phase)
+			}
 		}
 	}
 	return resp, nil

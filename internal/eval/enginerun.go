@@ -38,37 +38,61 @@ func SingleEngineSetup(factory ModelFactory) EngineSetup {
 	}
 }
 
-// HybridEngineSetup builds the paper's full engine: AB + SB models, the
-// trained phase classifier, and the §5.4.3 allocation policy.
-func (h *Harness) HybridEngineSetup(spec HybridSpec) EngineSetup {
+// RegistryEngineSetup builds an engine from registered recommender specs:
+// the per-fold model set comes from Registry.Build over the training
+// traces and the allocation policy from the registry's prior columns —
+// the same construction path the production facade uses, so experiments
+// measure exactly what deployments run. The optional hotspot spec gives
+// the eval path the 3-way table.
+func (h *Harness) RegistryEngineSetup(specs []recommend.Spec) EngineSetup {
 	return func(train []*trace.Trace) ([]recommend.Model, core.AllocationPolicy, *phase.Classifier, error) {
-		order := spec.ABOrder
-		if order <= 0 {
-			order = 3
-		}
-		sigs := spec.SBSigs
-		if len(sigs) == 0 {
-			sigs = []string{sig.NameSIFT}
-		}
-		ab, err := recommend.NewAB(order, train)
+		reg, err := recommend.NewRegistry(specs...)
 		if err != nil {
 			return nil, nil, nil, err
 		}
-		sb := recommend.NewSB(h.Pyr, recommend.WithSignatures(sigs...))
+		set, err := reg.Build(recommend.Env{Tiles: h.Pyr, Traces: train})
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		policy, err := core.NewRegistryPolicy(set.Columns())
+		if err != nil {
+			return nil, nil, nil, err
+		}
 		cls, err := phase.Train(h.sampleRequests(train), phase.TrainConfig{})
 		if err != nil {
 			return nil, nil, nil, err
 		}
-		var policy core.AllocationPolicy = core.HybridPolicy{
-			ABName: ab.Name(), SBName: sb.Name(), ABFirst: max(spec.ABFirst, 1),
+		return set.Session(), policy, cls, nil
+	}
+}
+
+// HybridEngineSetup builds the paper's full engine: AB + SB models from
+// the registry, the trained phase classifier, and the §5.4.3 allocation
+// policy. Spec overrides (a custom ABFirst split, the pre-tuning original
+// policy) swap the policy while the model set stays registry-built.
+func (h *Harness) HybridEngineSetup(spec HybridSpec) EngineSetup {
+	order := spec.ABOrder
+	if order <= 0 {
+		order = 3
+	}
+	sigs := spec.SBSigs
+	if len(sigs) == 0 {
+		sigs = []string{sig.NameSIFT}
+	}
+	registry := h.RegistryEngineSetup(recommend.DefaultSpecs(order, sigs, nil))
+	return func(train []*trace.Trace) ([]recommend.Model, core.AllocationPolicy, *phase.Classifier, error) {
+		models, policy, cls, err := registry(train)
+		if err != nil {
+			return nil, nil, nil, err
 		}
-		if spec.ABFirst <= 0 {
-			policy = core.NewHybridPolicy(ab.Name(), sb.Name())
+		abName, sbName := models[0].Name(), models[1].Name()
+		if spec.ABFirst > 0 {
+			policy = core.HybridPolicy{ABName: abName, SBName: sbName, ABFirst: max(spec.ABFirst, 1)}
 		}
 		if spec.UseOriginalPolicy {
-			policy = core.OriginalPolicy{ABName: ab.Name(), SBName: sb.Name()}
+			policy = core.OriginalPolicy{ABName: abName, SBName: sbName}
 		}
-		return []recommend.Model{ab, sb}, policy, cls, nil
+		return models, policy, cls, nil
 	}
 }
 

@@ -144,10 +144,10 @@ func MomentumFactory() ModelFactory {
 	}
 }
 
-// HotspotFactory builds the Hotspot baseline with n hotspots.
+// HotspotFactory builds the trace-trained hotspot baseline with n hotspots.
 func HotspotFactory(n, radius int) ModelFactory {
 	return func(train []*trace.Trace) (recommend.Model, error) {
-		return recommend.NewHotspot(train, n, radius), nil
+		return recommend.NewTraceHotspot(train, n, radius), nil
 	}
 }
 

@@ -33,7 +33,10 @@ import (
 // core.AdaptivePolicy re-splits the prefetch budget from — the paper's
 // fixed per-phase allocation table (§5.4.3) becomes the prior, and budget
 // share shifts toward the model whose predictions the phase's users
-// actually consume.
+// actually consume. The tallies carry evidence decay: a bucket's rate
+// halves for every allocHalfLife outcomes the phase produces without it,
+// so when a dataset shift silences a once-strong model its stale rate
+// fades and the split re-learns instead of being pinned by history.
 //
 // A FeedbackCollector is shared by every session engine of a deployment
 // and by its scheduler; all methods are safe for concurrent use.
@@ -47,15 +50,49 @@ type FeedbackCollector struct {
 	modelHits   map[string]int
 	modelMisses map[string]int
 	// per-(phase, model) EWMA consumption rate and observation counts: the
-	// allocation feedback signal.
-	phaseRate map[phaseModel]float64
-	phaseObs  map[phaseModel]int
+	// allocation feedback signal. Buckets decay by staleness (see
+	// allocBucket), so a dataset shift can re-learn the split.
+	phaseAlloc map[phaseModel]*allocBucket
+	// phaseN counts every outcome a phase has produced, across models: the
+	// staleness clock allocation buckets decay against.
+	phaseN map[trace.Phase]int
+	// allocHalfLife is the number of phase outcomes a bucket can miss
+	// before its rate halves.
+	allocHalfLife float64
 }
 
 // phaseModel keys the allocation tallies.
 type phaseModel struct {
 	ph    trace.Phase
 	model string
+}
+
+// allocBucket is one (phase, model) consumption tally with evidence
+// decay: rate is the EWMA consumption rate, obs the lifetime observation
+// count (the warmup gate), and lastN the phase outcome total at the
+// bucket's last observation. A bucket that stops being observed — the
+// model's prefetches stopped flowing in that phase, or the dataset
+// shifted under it — halves its effective rate every allocHalfLife
+// outcomes OTHER models produce in the phase, so stale evidence cannot
+// pin the learned split forever and the consumption-proportional target
+// drifts back toward the models the phase's users consume NOW. Buckets
+// observed at a steady share of the phase's traffic (the exploration
+// floor guarantees every model some) decay negligibly between their own
+// observations.
+type allocBucket struct {
+	rate  float64
+	obs   int
+	lastN int
+}
+
+// staleFactor is the decay multiplier for a bucket last observed when the
+// phase total was lastN, read at phase total n.
+func (f *FeedbackCollector) staleFactor(b *allocBucket, n int) float64 {
+	stale := n - b.lastN
+	if stale <= 0 {
+		return 1
+	}
+	return math.Pow(0.5, float64(stale)/f.allocHalfLife)
 }
 
 // Collector tuning. The EWMA weight trades adaptation speed against noise:
@@ -65,6 +102,12 @@ const (
 	feedbackAlpha = 0.02
 	warmupObs     = 30
 	minFactor     = 0.01 // learned floor: a tail position never hits zero
+	// defaultAllocHalfLife is the evidence half-life of the allocation
+	// buckets, in phase outcomes: long enough that a model observed at the
+	// 0.1 exploration floor of a busy phase decays by well under 4%
+	// between its own observations, short enough that a few minutes of
+	// shifted traffic rewrites a stale split.
+	defaultAllocHalfLife = 2048
 )
 
 // NewFeedbackCollector returns a collector learning factors for positions
@@ -75,14 +118,28 @@ func NewFeedbackCollector(maxPos int) *FeedbackCollector {
 		maxPos = 2
 	}
 	return &FeedbackCollector{
-		alpha:       feedbackAlpha,
-		rate:        make([]float64, maxPos),
-		obs:         make([]int, maxPos),
-		modelHits:   make(map[string]int),
-		modelMisses: make(map[string]int),
-		phaseRate:   make(map[phaseModel]float64),
-		phaseObs:    make(map[phaseModel]int),
+		alpha:         feedbackAlpha,
+		rate:          make([]float64, maxPos),
+		obs:           make([]int, maxPos),
+		modelHits:     make(map[string]int),
+		modelMisses:   make(map[string]int),
+		phaseAlloc:    make(map[phaseModel]*allocBucket),
+		phaseN:        make(map[trace.Phase]int),
+		allocHalfLife: defaultAllocHalfLife,
 	}
+}
+
+// SetAllocationHalfLife overrides the allocation buckets' evidence
+// half-life (in phase outcomes). Values <= 0 restore the default. Tests
+// use short half-lives to exercise shift-and-recover without replaying
+// thousands of outcomes.
+func (f *FeedbackCollector) SetAllocationHalfLife(n float64) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if n <= 0 {
+		n = defaultAllocHalfLife
+	}
+	f.allocHalfLife = n
 }
 
 // Observe records one cache outcome: the tile prefetched at batch position
@@ -112,13 +169,22 @@ func (f *FeedbackCollector) Observe(ph trace.Phase, model string, pos int, hit b
 	} else {
 		f.modelMisses[model]++
 	}
+	n := f.phaseN[ph] + 1
+	f.phaseN[ph] = n
 	key := phaseModel{ph: ph, model: model}
-	if f.phaseObs[key] == 0 {
-		f.phaseRate[key] = v
+	b := f.phaseAlloc[key]
+	if b == nil {
+		b = &allocBucket{rate: v}
 	} else {
-		f.phaseRate[key] += f.alpha * (v - f.phaseRate[key])
+		// Fold the staleness decay in before the EWMA step: evidence the
+		// bucket accumulated before going quiet counts for less, so the
+		// first observations after a long silence move the rate fast.
+		b.rate *= f.staleFactor(b, n-1)
+		b.rate += f.alpha * (v - b.rate)
 	}
-	f.phaseObs[key]++
+	b.obs++
+	b.lastN = n
+	f.phaseAlloc[key] = b
 }
 
 // AllocationRate reports the EWMA consumption rate of model's prefetches
@@ -129,8 +195,15 @@ func (f *FeedbackCollector) Observe(ph trace.Phase, model string, pos int, hit b
 func (f *FeedbackCollector) AllocationRate(ph trace.Phase, model string) (rate float64, obs int) {
 	f.mu.Lock()
 	defer f.mu.Unlock()
-	key := phaseModel{ph: ph, model: model}
-	return f.phaseRate[key], f.phaseObs[key]
+	return f.allocationRateLocked(ph, model)
+}
+
+func (f *FeedbackCollector) allocationRateLocked(ph trace.Phase, model string) (rate float64, obs int) {
+	b := f.phaseAlloc[phaseModel{ph: ph, model: model}]
+	if b == nil {
+		return 0, 0
+	}
+	return b.rate * f.staleFactor(b, f.phaseN[ph]), b.obs
 }
 
 // AllocationRates is the batched variant AdaptivePolicy uses on the
@@ -143,9 +216,7 @@ func (f *FeedbackCollector) AllocationRates(ph trace.Phase, models []string) (ra
 	f.mu.Lock()
 	defer f.mu.Unlock()
 	for i, m := range models {
-		key := phaseModel{ph: ph, model: m}
-		rates[i] = f.phaseRate[key]
-		obs[i] = f.phaseObs[key]
+		rates[i], obs[i] = f.allocationRateLocked(ph, m)
 	}
 	return rates, obs
 }

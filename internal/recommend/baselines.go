@@ -41,11 +41,14 @@ func (m *Momentum) Predict(req trace.Request, cands []Candidate, h *trace.Histor
 	return sortRanked(out)
 }
 
-// Hotspot extends Momentum with awareness of popular tiles (paper §5.2.3):
-// the most-requested tiles in the training traces become hotspots; when
-// the user is near one, candidates that move her closer to it are ranked
-// above the rest, otherwise the model behaves exactly like Momentum.
-type Hotspot struct {
+// TraceHotspot extends Momentum with awareness of popular tiles (paper
+// §5.2.3, the Doshi et al. baseline): the most-requested tiles in the
+// training traces become hotspots; when the user is near one, candidates
+// that move her closer to it are ranked above the rest, otherwise the
+// model behaves exactly like Momentum. It is trained ahead of time and
+// then fixed — the online, cross-session Hotspot model (hotspot.go)
+// learns the same signal continuously instead.
+type TraceHotspot struct {
 	momentum *Momentum
 	hotspots []tile.Coord
 	// radius is how near (Manhattan tiles, at the deeper of the two levels)
@@ -53,10 +56,10 @@ type Hotspot struct {
 	radius int
 }
 
-// NewHotspot trains the Hotspot baseline: the n most-requested tiles in
-// the traces become hotspots. The paper trains this "ahead of time" on the
-// same study traces used for the Markov models.
-func NewHotspot(traces []*trace.Trace, n, radius int) *Hotspot {
+// NewTraceHotspot trains the hotspot baseline: the n most-requested tiles
+// in the traces become hotspots. The paper trains this "ahead of time" on
+// the same study traces used for the Markov models.
+func NewTraceHotspot(traces []*trace.Trace, n, radius int) *TraceHotspot {
 	if n <= 0 {
 		n = 8
 	}
@@ -89,25 +92,25 @@ func NewHotspot(traces []*trace.Trace, n, radius int) *Hotspot {
 	if len(coords) > n {
 		coords = coords[:n]
 	}
-	return &Hotspot{momentum: NewMomentum(), hotspots: coords, radius: radius}
+	return &TraceHotspot{momentum: NewMomentum(), hotspots: coords, radius: radius}
 }
 
 // Name identifies the model.
-func (m *Hotspot) Name() string { return "hotspot" }
+func (m *TraceHotspot) Name() string { return "hotspot" }
 
 // Observe is a no-op.
-func (m *Hotspot) Observe(trace.Request) {}
+func (m *TraceHotspot) Observe(trace.Request) {}
 
 // Reset is a no-op.
-func (m *Hotspot) Reset() {}
+func (m *TraceHotspot) Reset() {}
 
 // Hotspots exposes the trained hotspot tiles (for inspection and tests).
-func (m *Hotspot) Hotspots() []tile.Coord { return append([]tile.Coord(nil), m.hotspots...) }
+func (m *TraceHotspot) Hotspots() []tile.Coord { return append([]tile.Coord(nil), m.hotspots...) }
 
 // Predict behaves like Momentum unless a hotspot is within radius of the
 // current tile; then candidates are re-scored by how much closer they
 // bring the user to the nearest hotspot.
-func (m *Hotspot) Predict(req trace.Request, cands []Candidate, h *trace.History) []Ranked {
+func (m *TraceHotspot) Predict(req trace.Request, cands []Candidate, h *trace.History) []Ranked {
 	base := m.momentum.Predict(req, cands, h)
 	nearest, dist := m.nearest(req.Coord)
 	if dist > m.radius {
@@ -131,7 +134,7 @@ func (m *Hotspot) Predict(req trace.Request, cands []Candidate, h *trace.History
 	return sortRanked(out)
 }
 
-func (m *Hotspot) nearest(c tile.Coord) (tile.Coord, int) {
+func (m *TraceHotspot) nearest(c tile.Coord) (tile.Coord, int) {
 	best := tile.Coord{}
 	bestD := 1 << 30
 	for _, hc := range m.hotspots {

@@ -1,0 +1,182 @@
+package recommend
+
+import (
+	"math"
+	"sync"
+	"testing"
+
+	"forecache/internal/tile"
+	"forecache/internal/trace"
+)
+
+// TestHotspotRankingDeterministic: consumption counts order the candidate
+// ranking, and the untouched candidates tie at score 0 in coordinate
+// order — the whole ranking is reproducible.
+func TestHotspotRankingDeterministic(t *testing.T) {
+	b := gridBounds{maxLevel: 4}
+	h := NewHotspot(HotspotConfig{})
+	cur := tile.Coord{Level: 2, Y: 1, X: 1}
+	popular := tile.Coord{Level: 2, Y: 1, X: 2}
+	warm := tile.Coord{Level: 2, Y: 0, X: 1}
+	for i := 0; i < 5; i++ {
+		h.ObserveConsumption(popular, trace.Foraging)
+	}
+	h.ObserveConsumption(warm, trace.Foraging)
+
+	cands := Candidates(b, cur, 1)
+	first := h.Predict(trace.Request{Coord: cur}, cands, nil)
+	if first[0].Coord != popular {
+		t.Fatalf("top candidate = %v, want the popular %v", first[0].Coord, popular)
+	}
+	if first[1].Coord != warm {
+		t.Fatalf("second candidate = %v, want the warm %v", first[1].Coord, warm)
+	}
+	if first[0].Score <= first[1].Score || first[1].Score <= 0 {
+		t.Fatalf("scores not ordered by consumption: %v", first[:3])
+	}
+	// Every untouched candidate scores 0 and the full order is stable.
+	for i := 2; i < len(first); i++ {
+		if first[i].Score != 0 {
+			t.Errorf("cold candidate %v has score %v, want 0", first[i].Coord, first[i].Score)
+		}
+	}
+	for i := 0; i < 20; i++ {
+		again := h.Predict(trace.Request{Coord: cur}, cands, nil)
+		for j := range first {
+			if again[j].Coord != first[j].Coord {
+				t.Fatalf("ranking not deterministic at %d: %v vs %v", j, again[j], first[j])
+			}
+		}
+	}
+}
+
+// TestHotspotDecayForgetsStaleTiles: with a short half-life, a burst of
+// newer consumption at the same level overtakes an old hotspot — the table
+// tracks what is popular NOW.
+func TestHotspotDecayForgetsStaleTiles(t *testing.T) {
+	h := NewHotspot(HotspotConfig{HalfLife: 4})
+	old := tile.Coord{Level: 3, Y: 1, X: 1}
+	fresh := tile.Coord{Level: 3, Y: 2, X: 2}
+	for i := 0; i < 10; i++ {
+		h.ObserveConsumption(old, trace.Foraging)
+	}
+	if h.Share(old) <= h.Share(fresh) {
+		t.Fatal("old hotspot should dominate before the shift")
+	}
+	for i := 0; i < 30; i++ {
+		h.ObserveConsumption(fresh, trace.Foraging)
+	}
+	if h.Share(fresh) <= h.Share(old) {
+		t.Errorf("after the shift fresh share %v should exceed stale %v",
+			h.Share(fresh), h.Share(old))
+	}
+	// 30 observations = 7.5 half-lives: the stale share must be tiny.
+	if h.Share(old) > 0.02 {
+		t.Errorf("stale share %v did not decay", h.Share(old))
+	}
+}
+
+// TestHotspotSharesPerLevel: shares are normalized within a zoom level, so
+// a tile's score is comparable across levels with wildly different
+// traffic volumes.
+func TestHotspotSharesPerLevel(t *testing.T) {
+	h := NewHotspot(HotspotConfig{HalfLife: 1000})
+	deep := tile.Coord{Level: 4, Y: 3, X: 3}
+	shallow := tile.Coord{Level: 1, Y: 0, X: 0}
+	// The deep level sees 100 observations, 50 of them for our tile; the
+	// shallow level sees 2, 1 of it ours. Both tiles own ~half their
+	// level's recent consumption.
+	for i := 0; i < 100; i++ {
+		c := deep
+		if i%2 == 1 {
+			c = tile.Coord{Level: 4, Y: 0, X: i % 4}
+		}
+		h.ObserveConsumption(c, trace.Foraging)
+	}
+	h.ObserveConsumption(shallow, trace.Foraging)
+	h.ObserveConsumption(tile.Coord{Level: 1, Y: 1, X: 1}, trace.Foraging)
+
+	ds, ss := h.Share(deep), h.Share(shallow)
+	if math.Abs(ds-0.5) > 0.05 || math.Abs(ss-0.5) > 0.05 {
+		t.Errorf("shares deep=%v shallow=%v, want both ~0.5", ds, ss)
+	}
+	if h.Share(tile.Coord{Level: 2, Y: 0, X: 0}) != 0 {
+		t.Error("level with no consumption must score 0")
+	}
+}
+
+// TestHotspotModelContract: the Model interface behaves as documented —
+// Observe and Reset are no-ops on the shared table.
+func TestHotspotModelContract(t *testing.T) {
+	h := NewHotspot(HotspotConfig{})
+	if h.Name() != "hotspot" {
+		t.Fatalf("Name = %q", h.Name())
+	}
+	c := tile.Coord{Level: 2, Y: 1, X: 1}
+	h.ObserveConsumption(c, trace.Foraging)
+	before := h.Share(c)
+	h.Observe(trace.Request{Coord: tile.Coord{Level: 2, Y: 0, X: 0}})
+	h.Reset()
+	if got := h.Share(c); got != before {
+		t.Errorf("Observe/Reset changed the shared table: %v -> %v", before, got)
+	}
+	if h.Session() != Model(h) {
+		t.Error("Session must return the shared instance")
+	}
+}
+
+// TestHotspotSweepBoundsTable: the stripe cap is a hard bound. With a
+// short half-life the decayed-out entries go first; with an enormous
+// half-life (nothing ever decays below noise) the smallest-weight live
+// entries are evicted — either way the table cannot grow unboundedly,
+// and the cooldown keeps the sweep off the per-update hot path.
+func TestHotspotSweepBoundsTable(t *testing.T) {
+	for _, halfLife := range []float64{2, 1e12} {
+		h := NewHotspot(HotspotConfig{HalfLife: halfLife, Stripes: 1, MaxPerStripe: 64})
+		for i := 0; i < 10000; i++ {
+			h.ObserveConsumption(tile.Coord{Level: 5, Y: i / 128, X: i % 128}, trace.Foraging)
+		}
+		// Hard bound: cap plus the cooldown window's worth of inserts.
+		if n := len(h.strs[0].w); n > 64+64/8 {
+			t.Errorf("half-life %v: stripe holds %d entries, cap 64 not enforced", halfLife, n)
+		}
+	}
+}
+
+// TestHotspotConcurrent is the -race suite: many goroutines observe and
+// predict against one shared table, the deployment's actual concurrency
+// shape (every session engine feeds and reads the same instance).
+func TestHotspotConcurrent(t *testing.T) {
+	b := gridBounds{maxLevel: 4}
+	h := NewHotspot(HotspotConfig{HalfLife: 64, Stripes: 4})
+	cur := tile.Coord{Level: 2, Y: 1, X: 1}
+	cands := Candidates(b, cur, 1)
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				h.ObserveConsumption(tile.Coord{Level: 2, Y: (g + i) % 4, X: i % 4}, trace.Foraging)
+			}
+		}(g)
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				out := h.Predict(trace.Request{Coord: cur}, cands, nil)
+				if len(out) != len(cands) {
+					t.Errorf("predict returned %d of %d candidates", len(out), len(cands))
+					return
+				}
+				for _, r := range out {
+					if r.Score < 0 || r.Score > 1 {
+						t.Errorf("share %v outside [0,1]", r.Score)
+						return
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}

@@ -169,7 +169,7 @@ func TestHotspotTraining(t *testing.T) {
 			{Coord: tile.Coord{Level: 2, Y: 0, X: i % 3}, Move: trace.PanLeft},
 		}})
 	}
-	m := NewHotspot(traces, 1, 3)
+	m := NewTraceHotspot(traces, 1, 3)
 	if hs := m.Hotspots(); len(hs) != 1 || hs[0] != hot {
 		t.Fatalf("Hotspots = %v, want [%v]", hs, hot)
 	}
@@ -180,7 +180,7 @@ func TestHotspotAttractsNearby(t *testing.T) {
 	traces := []*trace.Trace{{Requests: []trace.Request{
 		{Coord: hot}, {Coord: hot}, {Coord: hot},
 	}}}
-	m := NewHotspot(traces, 1, 3)
+	m := NewTraceHotspot(traces, 1, 3)
 	// User two tiles left of the hotspot, just moved up (momentum says up).
 	cur := tile.Coord{Level: 3, Y: 4, X: 4}
 	req := trace.Request{Coord: cur, Move: trace.PanUp}
@@ -193,7 +193,7 @@ func TestHotspotAttractsNearby(t *testing.T) {
 func TestHotspotFallsBackToMomentumWhenFar(t *testing.T) {
 	hot := tile.Coord{Level: 4, Y: 15, X: 15}
 	traces := []*trace.Trace{{Requests: []trace.Request{{Coord: hot}, {Coord: hot}}}}
-	m := NewHotspot(traces, 1, 2)
+	m := NewTraceHotspot(traces, 1, 2)
 	cur := tile.Coord{Level: 4, Y: 1, X: 1}
 	req := trace.Request{Coord: cur, Move: trace.PanDown}
 	rankedHot := m.Predict(req, Candidates(gridBounds{maxLevel: 5}, cur, 1), trace.NewHistory(3))
