@@ -6,6 +6,7 @@
 //	serve     run the HTTP middleware over a freshly built world
 //	explore   walk a move script through the middleware and print tiles
 //	bench     regenerate the paper's tables and figures (see -list)
+//	scrape    fetch a /metrics URL and strictly validate the exposition
 //
 // Every subcommand is deterministic for a fixed -seed.
 package main
@@ -13,6 +14,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"math"
 	"net/http"
 	"os"
@@ -21,6 +23,7 @@ import (
 
 	"forecache"
 	"forecache/internal/eval"
+	"forecache/internal/obs"
 	"forecache/internal/render"
 	"forecache/internal/trace"
 )
@@ -44,6 +47,8 @@ func main() {
 		err = cmdRender(os.Args[2:])
 	case "bench":
 		err = cmdBench(os.Args[2:])
+	case "scrape":
+		err = cmdScrape(os.Args[2:])
 	case "help", "-h", "--help":
 		usage()
 	default:
@@ -68,11 +73,13 @@ subcommands:
             [-adaptive-k] [-fair-share] [-utility-learning]
             [-adaptive-allocation] [-hotspot] [-alloc-floor]
             [-alloc-warmup] [-alloc-max-step] [-metrics]
+            [-tracing] [-trace-buffer] [-pprof] [-log-level]
             [-shared-tiles] [-max-sessions] [-session-ttl]
                                           run the HTTP middleware
   explore   -seed -size -tile -moves     walk a move script, print tiles
   render    -seed -size -tile -level -out render a zoom level to PNG
-  bench     -seed -size -tile [-list] [names...|all]  run experiments`)
+  bench     -seed -size -tile [-list] [names...|all]  run experiments
+  scrape    -url                         fetch /metrics, validate strictly`)
 }
 
 // worldFlags are the dataset knobs shared by all subcommands.
@@ -165,10 +172,18 @@ func cmdServe(args []string) error {
 	allocWarmup := fs.Int("alloc-warmup", 0, "adaptive allocation: per-(phase, model) outcomes before shares move (0 = default 30)")
 	allocMaxStep := fs.Float64("alloc-max-step", 0, "adaptive allocation: per-reallocation share step bound (0 = default 0.02)")
 	metrics := fs.Bool("metrics", true, "expose Prometheus text-format telemetry under GET /metrics")
+	tracing := fs.Bool("tracing", true, "trace every request (X-Trace-ID, GET /debug/traces) and export per-stage latency histograms under /metrics")
+	traceBuffer := fs.Int("trace-buffer", 256, "completed request traces retained for /debug/traces (negative keeps histograms only)")
+	pprofOn := fs.Bool("pprof", false, "expose Go's net/http/pprof profiling handlers under GET /debug/pprof/")
+	logLevel := fs.String("log-level", "info", "structured request log level: debug, info, warn or error (debug logs every finished trace)")
 	sharedTiles := fs.Int("shared-tiles", 512, "cross-session shared tile pool capacity (0 disables)")
 	maxSessions := fs.Int("max-sessions", 1024, "live session cap, LRU-evicted past it (0 = unlimited)")
 	sessionTTL := fs.Duration("session-ttl", 30*time.Minute, "evict sessions idle this long (0 = never)")
 	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	logger, err := obs.NewLogger(os.Stderr, *logLevel)
+	if err != nil {
 		return err
 	}
 	ds, err := wf.build()
@@ -192,6 +207,10 @@ func cmdServe(args []string) error {
 		AllocationWarmup:   *allocWarmup,
 		AllocationMaxStep:  *allocMaxStep,
 		MetricsEndpoint:    *metrics,
+		Tracing:            *tracing,
+		TraceBuffer:        *traceBuffer,
+		Pprof:              *pprofOn,
+		Logger:             logger,
 		SharedTiles:        *sharedTiles,
 		MaxSessions:        *maxSessions,
 		SessionTTL:         *sessionTTL,
@@ -209,8 +228,50 @@ func cmdServe(args []string) error {
 	if *metrics {
 		endpoints += ", /metrics"
 	}
+	if *tracing {
+		endpoints += ", /debug/traces"
+	}
+	if *pprofOn {
+		endpoints += ", /debug/pprof/"
+	}
 	fmt.Printf("serving tiles on %s (%s; %s; POST /reset)\n", *addr, mode, endpoints)
 	return http.ListenAndServe(*addr, srv)
+}
+
+// cmdScrape fetches a Prometheus text-format endpoint and runs the same
+// strict exposition validator the unit tests use (obs.ParsePromText). CI
+// scrapes a live `serve` process with it, so a payload a real Prometheus
+// scraper would reject fails the build, not the dashboard.
+func cmdScrape(args []string) error {
+	fs := flag.NewFlagSet("scrape", flag.ExitOnError)
+	url := fs.String("url", "http://localhost:8080/metrics", "metrics endpoint to fetch and validate")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	resp, err := http.Get(*url)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("scrape %s: status %s", *url, resp.Status)
+	}
+	body, err := io.ReadAll(io.LimitReader(resp.Body, 16<<20))
+	if err != nil {
+		return err
+	}
+	samples, err := obs.ParsePromText(string(body))
+	if err != nil {
+		return fmt.Errorf("scrape %s: invalid exposition: %w", *url, err)
+	}
+	histograms := 0
+	for key := range samples {
+		if strings.Contains(key, "_bucket{") {
+			histograms++
+		}
+	}
+	fmt.Printf("%s: %d samples valid (%d histogram buckets)\n", *url, len(samples), histograms)
+	return nil
 }
 
 func cmdExplore(args []string) error {

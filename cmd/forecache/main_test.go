@@ -1,6 +1,8 @@
 package main
 
 import (
+	"net/http"
+	"net/http/httptest"
 	"os"
 	"path/filepath"
 	"testing"
@@ -74,5 +76,35 @@ func TestCmdBenchListAndUnknown(t *testing.T) {
 func TestCmdBenchRunsCheapExperiment(t *testing.T) {
 	if err := cmdBench(tinyWorld("fig9")); err != nil {
 		t.Fatalf("bench fig9: %v", err)
+	}
+}
+
+func TestCmdScrapeValidatesExposition(t *testing.T) {
+	good := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Write([]byte("# HELP up 1 while serving.\n# TYPE up gauge\nup 1\n"))
+	}))
+	defer good.Close()
+	if err := cmdScrape([]string{"-url", good.URL}); err != nil {
+		t.Errorf("valid exposition rejected: %v", err)
+	}
+
+	bad := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Write([]byte("up 1\n")) // sample without HELP/TYPE
+	}))
+	defer bad.Close()
+	if err := cmdScrape([]string{"-url", bad.URL}); err == nil {
+		t.Error("invalid exposition accepted")
+	}
+
+	failing := httptest.NewServer(http.NotFoundHandler())
+	defer failing.Close()
+	if err := cmdScrape([]string{"-url", failing.URL}); err == nil {
+		t.Error("404 endpoint accepted")
+	}
+}
+
+func TestCmdServeRejectsBadLogLevel(t *testing.T) {
+	if err := cmdServe(tinyWorld("-log-level", "loud")); err == nil {
+		t.Error("unknown log level should fail before building the world")
 	}
 }

@@ -74,6 +74,19 @@
 //     whole loop — queue/shed/coalesce counters, global and per-session
 //     backpressure, aggregate cache hit rates, the learned curve — as
 //     dependency-free Prometheus text under GET /metrics;
+//   - the observability layer (internal/obs): with
+//     MiddlewareConfig.Tracing every /tile request is traced end to end
+//     (trace id echoed as X-Trace-ID, per-span breakdown across session
+//     resolution, cache lookup, backend fetch and prefetch submission),
+//     the slowest traces are retained in a bounded ring
+//     (MiddlewareConfig.TraceBuffer) behind GET /debug/traces, and
+//     /metrics grows lock-free latency histograms for request outcomes
+//     (hit/miss/shed), scheduler queue wait, backend fetches and
+//     prefetch lead time. MiddlewareConfig.Logger receives one
+//     structured log line per finished trace; MiddlewareConfig.Pprof
+//     registers net/http/pprof under GET /debug/pprof/. The same
+//     package's strict exposition parser backs the `forecache scrape`
+//     CLI subcommand, which CI points at a live server;
 //   - a user-study simulator (internal/study) and the experiment harness
 //     reproducing every table and figure of the paper (internal/eval).
 //

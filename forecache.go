@@ -2,6 +2,7 @@ package forecache
 
 import (
 	"fmt"
+	"log/slog"
 	"time"
 
 	"forecache/internal/array"
@@ -9,6 +10,7 @@ import (
 	"forecache/internal/core"
 	"forecache/internal/eval"
 	"forecache/internal/modis"
+	"forecache/internal/obs"
 	"forecache/internal/phase"
 	"forecache/internal/prefetch"
 	"forecache/internal/recommend"
@@ -254,8 +256,33 @@ type MiddlewareConfig struct {
 	// MetricsEndpoint registers a dependency-free Prometheus text-format
 	// GET /metrics endpoint on the server: scheduler counters, global and
 	// per-session backpressure, aggregate cache hit rates, the learned
-	// utility curve, and the adaptive allocation shares.
+	// utility curve, and the adaptive allocation shares. With Tracing the
+	// payload grows latency histograms for every pipeline stage.
 	MetricsEndpoint bool
+	// Tracing threads one obs.Pipeline through the whole deployment:
+	// every /tile request gets a trace id (echoed as X-Trace-ID) with a
+	// per-span breakdown (session resolution, cache lookup, backend fetch,
+	// prefetch submission), the slowest retained traces are served under
+	// GET /debug/traces, and /metrics (with MetricsEndpoint) exports
+	// latency histograms for request outcomes, scheduler queue wait,
+	// backend fetches and prefetch lead time. Only NewServer honors this;
+	// NewMiddleware engines stay uninstrumented so the eval harness
+	// measures the paper's numbers, not the telemetry's.
+	Tracing bool
+	// TraceBuffer caps the in-memory ring of completed request traces
+	// behind /debug/traces. 0 = default 256; negative keeps histograms but
+	// disables trace retention (and the endpoint with it). Only meaningful
+	// with Tracing.
+	TraceBuffer int
+	// Pprof registers Go's net/http/pprof profiling handlers under
+	// GET /debug/pprof/ on the server. Off by default: profiles expose
+	// internals and cost CPU while streaming, so production deployments
+	// opt in deliberately.
+	Pprof bool
+	// Logger receives the pipeline's structured request logs (one Debug
+	// line per finished trace, carrying the trace id). nil logs nothing.
+	// Only meaningful with Tracing.
+	Logger *slog.Logger
 	// SharedTiles > 0 wraps the server's DBMS in a cross-session
 	// backend.SharedPool of that many tiles, so popular tiles are fetched
 	// once and reused by every session. Only NewServer honors this.
@@ -465,7 +492,9 @@ func (d *Dataset) assembleEngine(store backend.Store, arts *Artifacts, cfg Middl
 // control, AdaptiveAllocation closes the budget-allocation loop from the
 // same outcomes back into the per-phase model split (2-way, or 3-way with
 // Hotspot), and MetricsEndpoint exposes all of it as Prometheus text
-// under GET /metrics.
+// under GET /metrics. Tracing adds end-to-end request traces (X-Trace-ID,
+// GET /debug/traces) and per-stage latency histograms to /metrics; Pprof
+// adds Go's profiling handlers under GET /debug/pprof/.
 func (d *Dataset) NewServer(train []*trace.Trace, cfg MiddlewareConfig) (*server.Server, error) {
 	cfg = cfg.withDefaults()
 	if err := cfg.validate(); err != nil {
@@ -516,6 +545,18 @@ func (d *Dataset) NewServer(train []*trace.Trace, cfg MiddlewareConfig) (*server
 		}
 		opts = append(opts, server.WithAllocation(adaptive))
 	}
+	// The observability pipeline is one shared instance: the scheduler
+	// feeds its queue-wait and backend-fetch histograms, every session
+	// engine feeds cache lead times and span timings, and the server
+	// serves the result (/metrics histograms, /debug/traces).
+	var pipe *obs.Pipeline
+	if cfg.Tracing {
+		pipe = obs.NewPipeline(obs.Config{TraceCapacity: cfg.TraceBuffer, Logger: cfg.Logger})
+		opts = append(opts, server.WithObs(pipe))
+	}
+	if cfg.Pprof {
+		opts = append(opts, server.WithPprof())
+	}
 	if cfg.AsyncPrefetch {
 		var util *prefetch.FeedbackCollector
 		if cfg.UtilityLearning {
@@ -527,6 +568,7 @@ func (d *Dataset) NewServer(train []*trace.Trace, cfg MiddlewareConfig) (*server
 			GlobalQueue:     cfg.GlobalQueueBudget,
 			DecayHalfLife:   cfg.DecayHalfLife,
 			Utility:         util,
+			Obs:             pipe,
 		})
 		opts = append(opts, server.WithScheduler(sched))
 	}
@@ -559,6 +601,9 @@ func (d *Dataset) NewServer(train []*trace.Trace, cfg MiddlewareConfig) (*server
 		}
 		if adaptive != nil {
 			engOpts = append(engOpts, core.WithAdaptiveAllocation(adaptive))
+		}
+		if pipe != nil {
+			engOpts = append(engOpts, core.WithObs(pipe))
 		}
 		return d.assembleEngine(store, arts, cfg, engOpts...)
 	}

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"io"
 	"math"
+	"net/http"
 	"net/http/httptest"
 	"strconv"
 	"strings"
@@ -197,6 +198,124 @@ func TestAsyncServerFacade(t *testing.T) {
 	}
 	if srv.Sessions() != 2 {
 		t.Errorf("sessions = %d, want 2", srv.Sessions())
+	}
+}
+
+// TestTracingServerFacade proves the Tracing/TraceBuffer/Pprof knobs wire
+// the observability pipeline end to end: traced tile responses carry
+// X-Trace-ID, /debug/traces serves the per-span breakdowns, /metrics
+// grows the latency histogram families, and /debug/pprof/ answers.
+func TestTracingServerFacade(t *testing.T) {
+	ds, traces := testWorld(t)
+	srv, err := ds.NewServer(traces, MiddlewareConfig{
+		K: 5, AsyncPrefetch: true, PrefetchWorkers: 2,
+		MetricsEndpoint: true, Tracing: true, TraceBuffer: 8, Pprof: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+
+	get := func(path string) (int, string, http.Header) {
+		t.Helper()
+		resp, err := ts.Client().Get(ts.URL + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		body, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		return resp.StatusCode, string(body), resp.Header
+	}
+
+	// A zoom-in walk: every request must come back with a trace id.
+	for i, path := range []string{
+		"/tile?level=0&y=0&x=0&session=tracer",
+		"/tile?level=1&y=0&x=0&session=tracer",
+		"/tile?level=2&y=0&x=0&session=tracer",
+	} {
+		code, _, hdr := get(path)
+		if code != 200 {
+			t.Fatalf("tile %d: status %d", i, code)
+		}
+		if hdr.Get("X-Trace-ID") == "" {
+			t.Fatalf("tile %d: no X-Trace-ID", i)
+		}
+	}
+	srv.Scheduler().Drain()
+
+	code, body, _ := get("/debug/traces?n=8")
+	if code != 200 {
+		t.Fatalf("/debug/traces: status %d", code)
+	}
+	var dbg struct {
+		Capacity int `json:"capacity"`
+		Stored   int `json:"stored"`
+		Traces   []struct {
+			Outcome string `json:"outcome"`
+			Spans   []struct {
+				Name string `json:"name"`
+			} `json:"spans"`
+		} `json:"traces"`
+	}
+	if err := json.Unmarshal([]byte(body), &dbg); err != nil {
+		t.Fatalf("decode /debug/traces: %v", err)
+	}
+	if dbg.Capacity != 8 || dbg.Stored != 3 {
+		t.Errorf("trace buffer = cap %d stored %d, want cap 8 stored 3", dbg.Capacity, dbg.Stored)
+	}
+	spanNames := map[string]bool{}
+	for _, tr := range dbg.Traces {
+		if tr.Outcome != "hit" && tr.Outcome != "miss" {
+			t.Errorf("served request traced as %q, want hit or miss", tr.Outcome)
+		}
+		for _, sp := range tr.Spans {
+			spanNames[sp.Name] = true
+		}
+	}
+	// The cold first request misses, so the backend-fetch span must appear
+	// somewhere even if prefetching turns the rest of the walk into hits.
+	for _, want := range []string{"session", "cache_lookup", "backend_fetch", "prefetch"} {
+		if !spanNames[want] {
+			t.Errorf("no %q span across traces (got %v)", want, spanNames)
+		}
+	}
+
+	code, body, _ = get("/metrics")
+	if code != 200 {
+		t.Fatalf("/metrics: status %d", code)
+	}
+	for _, family := range []string{
+		"forecache_request_duration_seconds",
+		"forecache_prefetch_queue_wait_seconds",
+		"forecache_backend_fetch_duration_seconds",
+		"forecache_prefetch_lead_time_seconds",
+	} {
+		if !strings.Contains(body, "# TYPE "+family+" histogram") {
+			t.Errorf("/metrics missing histogram family %s", family)
+		}
+	}
+	// Every request of the walk lands in exactly one outcome's histogram.
+	total := 0.0
+	for _, line := range strings.Split(body, "\n") {
+		if strings.HasPrefix(line, `forecache_request_duration_seconds_count{outcome="`) {
+			v, err := strconv.ParseFloat(line[strings.LastIndexByte(line, ' ')+1:], 64)
+			if err != nil {
+				t.Fatalf("bad count line %q: %v", line, err)
+			}
+			total += v
+		}
+	}
+	if total != 3 {
+		t.Errorf("request histogram counts sum to %v, want 3", total)
+	}
+
+	if code, _, _ = get("/debug/pprof/"); code != 200 {
+		t.Errorf("/debug/pprof/: status %d, want 200", code)
 	}
 }
 

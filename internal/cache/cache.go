@@ -24,7 +24,9 @@ package cache
 import (
 	"container/list"
 	"sync"
+	"time"
 
+	"forecache/internal/obs"
 	"forecache/internal/tile"
 	"forecache/internal/trace"
 )
@@ -81,6 +83,10 @@ type predTile struct {
 	pos      int         // batch rank the prefetcher assigned (0 = front-runner)
 	ph       trace.Phase // predicted phase when the prefetch was decided
 	consumed bool        // a request already hit this entry
+	// born is the insert time, stamped only when observability is on: the
+	// start of the prefetch "lead time" (insert-to-first-consumption)
+	// window. Zero when untracked.
+	born time.Time
 }
 
 // regionRef names one model region holding a coordinate.
@@ -118,6 +124,12 @@ type Manager struct {
 	trackOutcomes bool
 	outcomes      []Outcome
 
+	// obs, when set, receives the prefetch lead time (insert to first
+	// consumption) of every consumed prediction entry. now is the clock
+	// used for lead-time stamps (a test seam; time.Now by default).
+	obs *obs.Pipeline
+	now func() time.Time
+
 	stats Stats
 }
 
@@ -133,7 +145,17 @@ func NewManager(recentCap int) *Manager {
 		byCoord:   make(map[tile.Coord]*coordEntry),
 		recentCap: recentCap,
 		recent:    list.New(),
+		now:       time.Now,
 	}
+}
+
+// SetObs attaches the observability pipeline: prediction entries get
+// insert timestamps and every first consumption reports its lead time.
+// Nil detaches (the default — untracked entries pay no clock reads).
+func (m *Manager) SetObs(p *obs.Pipeline) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.obs = p
 }
 
 // TrackOutcomes enables (or disables) prefetch-outcome attribution. Off by
@@ -297,6 +319,10 @@ func (m *Manager) FillPredictions(model string, tiles []*tile.Tile, ph trace.Pha
 			m.recordOutcomeLocked(Outcome{Model: model, Position: pt.pos, Phase: pt.ph, Coord: pt.t.Coord, Hit: false})
 		}
 	}
+	var born time.Time
+	if m.obs != nil {
+		born = m.now()
+	}
 	region := make([]*predTile, 0, len(tiles))
 	seen := make(map[tile.Coord]bool, len(tiles))
 	for i, t := range tiles {
@@ -304,7 +330,7 @@ func (m *Manager) FillPredictions(model string, tiles []*tile.Tile, ph trace.Pha
 			continue // keep the index one-entry-per-(coord, model)
 		}
 		seen[t.Coord] = true
-		pt := &predTile{t: t, pos: i, ph: ph}
+		pt := &predTile{t: t, pos: i, ph: ph, born: born}
 		region = append(region, pt)
 		m.indexAddLocked(model, pt)
 	}
@@ -335,6 +361,9 @@ func (m *Manager) InsertPrediction(model string, t *tile.Tile, pos int, ph trace
 	}
 	region := m.regions[model]
 	fresh := &predTile{t: t, pos: pos, ph: ph}
+	if m.obs != nil {
+		fresh.born = m.now()
+	}
 	out := make([]*predTile, 0, len(region)+1)
 	out = append(out, fresh)
 	for _, old := range region {
@@ -368,11 +397,21 @@ func (m *Manager) Lookup(c tile.Coord) (*tile.Tile, bool) {
 			// models often agree on the user's next tile, and judging only
 			// one of them would later count the others' correct predictions
 			// as misses at eviction.
+			var oldestBorn time.Time
 			for _, ref := range e.refs {
 				if !ref.pt.consumed {
 					ref.pt.consumed = true
 					m.recordOutcomeLocked(Outcome{Model: ref.model, Position: ref.pt.pos, Phase: ref.pt.ph, Coord: c, Hit: true})
+					if !ref.pt.born.IsZero() && (oldestBorn.IsZero() || ref.pt.born.Before(oldestBorn)) {
+						oldestBorn = ref.pt.born
+					}
 				}
+			}
+			// One lead-time sample per consumption, measured from the
+			// earliest insert among the newly consumed entries: how far
+			// ahead of the user the prefetcher ran.
+			if m.obs != nil && !oldestBorn.IsZero() {
+				m.obs.ObserveLeadTime(m.now().Sub(oldestBorn))
 			}
 			m.stats.Hits++
 			return e.refs[0].pt.t, true

@@ -15,6 +15,7 @@ import (
 
 	"forecache/internal/backend"
 	"forecache/internal/cache"
+	"forecache/internal/obs"
 	"forecache/internal/phase"
 	"forecache/internal/prefetch"
 	"forecache/internal/recommend"
@@ -175,6 +176,18 @@ func WithConsumption(obs ConsumptionObserver) Option {
 	}
 }
 
+// WithObs attaches the deployment's observability pipeline: synchronous
+// backend fetches report their wall time, and the engine's cache reports
+// each prefetched tile's lead time (insert to first consumption). The
+// request-path span breakdown additionally requires the caller to pass a
+// trace to RequestTraced. Nil is a no-op.
+func WithObs(p *obs.Pipeline) Option {
+	return func(e *Engine) {
+		e.obs = p
+		e.cache.SetObs(p)
+	}
+}
+
 // WithAdaptiveAllocation replaces the engine's allocation policy with the
 // deployment's shared feedback-driven policy: the per-phase budget split
 // shifts toward the model whose prefetches actually get consumed (fed by
@@ -225,6 +238,7 @@ type Engine struct {
 	fairShare   bool                // use the per-session fair-share signal
 	feedback    FeedbackObserver    // per-(model, position, phase) outcome sink
 	consumption ConsumptionObserver // per-tile consumption sink (hotspot)
+	obs         *obs.Pipeline       // latency histograms; nil => uninstrumented
 
 	mu      sync.Mutex
 	cache   *cache.Manager
@@ -373,6 +387,16 @@ func (e *Engine) Reset() {
 // is the full per-request cycle of Figure 5: visualizer -> prediction
 // engine -> cache manager -> (SciDB on a miss).
 func (e *Engine) Request(c tile.Coord) (*Response, error) {
+	return e.RequestTraced(c, nil)
+}
+
+// RequestTraced is Request with a span breakdown: the caller's trace (nil
+// is fine — every span call is a no-op then) gets cache_lookup,
+// backend_fetch (sync misses only; async fetches report to the histograms
+// from the scheduler instead) and prefetch spans, plus the hit/miss
+// outcome. The server's /tile handler owns the trace; the engine only
+// annotates it.
+func (e *Engine) RequestTraced(c tile.Coord, rt *obs.ReqTrace) (*Response, error) {
 	e.mu.Lock()
 	defer e.mu.Unlock()
 
@@ -388,16 +412,30 @@ func (e *Engine) Request(c tile.Coord) (*Response, error) {
 
 	// Serve the tile: middleware cache first, SciDB on a miss.
 	resp := &Response{}
-	if t, ok := e.cache.Lookup(c); ok {
+	endLookup := rt.StartSpan("cache_lookup")
+	t, ok := e.cache.Lookup(c)
+	endLookup()
+	if ok {
 		resp.Tile, resp.Hit = t, true
 		resp.Latency = e.db.Latency().Hit
+		rt.SetOutcome(obs.OutcomeHit)
 	} else {
+		endFetch := rt.StartSpan("backend_fetch")
+		var fetchStart time.Time
+		if e.obs != nil {
+			fetchStart = time.Now()
+		}
 		t, err := e.db.Fetch(c) // charges the miss latency on the clock
+		if e.obs != nil {
+			e.obs.ObserveBackendFetch(time.Since(fetchStart))
+		}
+		endFetch()
 		if err != nil {
 			return nil, err
 		}
 		resp.Tile = t
 		resp.Latency = e.db.Latency().Miss
+		rt.SetOutcome(obs.OutcomeMiss)
 	}
 	e.cache.InsertRecent(resp.Tile)
 
@@ -414,6 +452,17 @@ func (e *Engine) Request(c tile.Coord) (*Response, error) {
 		resp.Phase = e.classifier.Predict(req)
 	}
 
+	// A request-path miss is a consumption the prefetcher failed to
+	// anticipate — exactly the signal the population-level hotspot table
+	// should learn from, not just the predictions that worked. Prefetched
+	// consumptions are reported from the outcome stream below; a missed
+	// tile by definition had no prediction entry to hit, so the two feeds
+	// cannot double-count one consumption.
+	if e.consumption != nil && !resp.Hit {
+		e.consumption.ObserveConsumption(c, resp.Phase)
+	}
+
+	endPrefetch := rt.StartSpan("prefetch")
 	// Bottom level: re-evaluate allocations, run the models in parallel,
 	// and prefetch their top-ranked tiles for the next request — inline by
 	// default, or submitted to the shared scheduler in async mode. Under
@@ -442,6 +491,7 @@ func (e *Engine) Request(c tile.Coord) (*Response, error) {
 	} else {
 		resp.Prefetched = e.prefetch(req, fetchAllocs, resp.Phase)
 	}
+	endPrefetch()
 
 	// Close the loop: report this request's prefetch outcomes (hits at
 	// consumption, misses at eviction — including evictions the allocation
@@ -512,7 +562,14 @@ func (e *Engine) prefetch(req trace.Request, allocs map[string]int, ph trace.Pha
 	for _, r := range e.rankModels(req, allocs) {
 		tiles := make([]*tile.Tile, 0, len(r.ranked))
 		for _, pred := range r.ranked {
+			var fetchStart time.Time
+			if e.obs != nil {
+				fetchStart = time.Now()
+			}
 			t, err := e.db.FetchQuiet(pred.Coord)
+			if e.obs != nil {
+				e.obs.ObserveBackendFetch(time.Since(fetchStart))
+			}
 			if err != nil {
 				continue
 			}

@@ -1,0 +1,120 @@
+// Package obs is the middleware's dependency-free observability layer:
+// fixed log-bucketed latency histograms, per-request trace records with
+// span breakdowns, a bounded ring buffer of completed traces, structured
+// logging, and a strict Prometheus text-format parser/validator.
+//
+// The paper's entire value claim is a latency claim — prefetching exists
+// to keep pan/zoom responses under the interactivity threshold — so the
+// pipeline must be able to show WHERE a slow request spent its time:
+// queue wait, backend fetch, cache insert, or lock contention. Every
+// component of the request/prefetch pipeline (server, engine, cache,
+// scheduler) reports into one shared *Pipeline; the server exports the
+// histograms under GET /metrics and the slowest traces under
+// GET /debug/traces.
+//
+// The package imports only the standard library, and everything is safe
+// for concurrent use: histograms are lock-free (atomic counters), the
+// trace buffer holds a short critical section, and all Pipeline observe
+// methods are nil-receiver safe so instrumented call sites pay one nil
+// check when observability is off.
+package obs
+
+import (
+	"math"
+	"sync/atomic"
+	"time"
+)
+
+// Histogram is a fixed-boundary latency histogram in seconds. Boundaries
+// are upper bounds with Prometheus "le" semantics (a value v lands in the
+// first bucket with v <= bound; values above every bound land in the
+// implicit +Inf bucket). Observe is lock-free: one atomic add per bucket
+// plus a CAS loop for the running sum, cheap enough to sit on the
+// scheduler's submit/drain hot path.
+type Histogram struct {
+	bounds []float64
+	counts []atomic.Uint64 // len(bounds)+1; last is the +Inf overflow
+	sum    atomic.Uint64   // float64 bits
+}
+
+// NewHistogram builds a histogram over the given strictly increasing
+// upper bounds (seconds). An implicit +Inf bucket is always appended.
+func NewHistogram(bounds []float64) *Histogram {
+	for i := 1; i < len(bounds); i++ {
+		if bounds[i] <= bounds[i-1] {
+			panic("obs: histogram bounds must be strictly increasing")
+		}
+	}
+	b := make([]float64, len(bounds))
+	copy(b, bounds)
+	return &Histogram{bounds: b, counts: make([]atomic.Uint64, len(b)+1)}
+}
+
+// ExpBuckets returns n exponentially spaced upper bounds starting at
+// start and multiplying by factor: the fixed log-bucketing every pipeline
+// histogram uses (per-bucket resolution proportional to magnitude, which
+// is how latency is read).
+func ExpBuckets(start, factor float64, n int) []float64 {
+	if start <= 0 || factor <= 1 || n < 1 {
+		panic("obs: ExpBuckets needs start > 0, factor > 1, n >= 1")
+	}
+	out := make([]float64, n)
+	v := start
+	for i := range out {
+		out[i] = v
+		v *= factor
+	}
+	return out
+}
+
+// Observe records one value (seconds).
+func (h *Histogram) Observe(seconds float64) {
+	if h == nil {
+		return
+	}
+	i := 0
+	for i < len(h.bounds) && seconds > h.bounds[i] {
+		i++
+	}
+	h.counts[i].Add(1)
+	for {
+		old := h.sum.Load()
+		next := math.Float64bits(math.Float64frombits(old) + seconds)
+		if h.sum.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// ObserveDuration records one duration.
+func (h *Histogram) ObserveDuration(d time.Duration) { h.Observe(d.Seconds()) }
+
+// HistogramSnapshot is a point-in-time, exposition-ready view of a
+// histogram: Bounds excludes +Inf; Cumulative has len(Bounds)+1 entries
+// (Prometheus-style running totals, last = the +Inf bucket = Count). The
+// +Inf-equals-Count invariant holds within a snapshot even while
+// observations race it: Count is derived from the same bucket reads.
+type HistogramSnapshot struct {
+	Bounds     []float64
+	Cumulative []uint64
+	Sum        float64
+	Count      uint64
+}
+
+// Snapshot reads the histogram. Concurrent Observes may or may not be
+// included, but Cumulative is always non-decreasing and its last entry
+// always equals Count.
+func (h *Histogram) Snapshot() HistogramSnapshot {
+	snap := HistogramSnapshot{
+		Bounds:     h.bounds,
+		Cumulative: make([]uint64, len(h.counts)),
+	}
+	var total uint64
+	for i := range h.counts {
+		total += h.counts[i].Load()
+		snap.Cumulative[i] = total
+	}
+	snap.Count = total
+	snap.Sum = math.Float64frombits(h.sum.Load())
+	return snap
+}

@@ -1,0 +1,384 @@
+package obs
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// This file is a strict Prometheus text-exposition (version 0.0.4)
+// parser/validator, shared by the server's unit tests and the CI
+// integration check (cmd/forecache scrape) so the /metrics contract is
+// enforced against a live server with exactly the rules the tests pin:
+// every sample must parse, carry a valid metric name, follow its family's
+// HELP+TYPE header, use valid label names and properly escaped quoted
+// label values; families must not repeat; counters must be non-negative;
+// and histogram families must be internally consistent (only
+// _bucket/_sum/_count samples, le on every bucket, cumulative bucket
+// counts, a +Inf bucket equal to _count, matching series sets).
+
+func promMetricOK(r rune, first bool) bool {
+	if r == '_' || r == ':' || ('a' <= r && r <= 'z') || ('A' <= r && r <= 'Z') {
+		return true
+	}
+	return !first && '0' <= r && r <= '9'
+}
+
+func isMetricName(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i, r := range s {
+		if !promMetricOK(r, i == 0) {
+			return false
+		}
+	}
+	return true
+}
+
+func isLabelName(s string) bool {
+	return isMetricName(s) && !strings.Contains(s, ":")
+}
+
+// promSample is one parsed sample line.
+type promSample struct {
+	name       string
+	labelBlock string            // raw, as rendered
+	labels     map[string]string // unquoted values
+	value      float64
+	line       int
+}
+
+// splitPromSample parses one sample line into name, label block and raw
+// value, walking the optional label block quote-aware (label values may
+// contain '{', '}', spaces — anything escaped per the exposition format).
+func splitPromSample(line string) (name, labelBlock, rawValue string, ok bool) {
+	i := strings.IndexAny(line, "{ ")
+	if i < 0 {
+		return "", "", "", false
+	}
+	name = line[:i]
+	rest := line[i:]
+	if rest[0] == '{' {
+		inQuotes, escaped := false, false
+		end := -1
+		for j := 1; j < len(rest); j++ {
+			c := rest[j]
+			switch {
+			case escaped:
+				escaped = false
+			case c == '\\' && inQuotes:
+				escaped = true
+			case c == '"':
+				inQuotes = !inQuotes
+			case c == '}' && !inQuotes:
+				end = j
+			}
+			if end >= 0 {
+				break
+			}
+		}
+		if end < 0 {
+			return "", "", "", false
+		}
+		labelBlock = rest[:end+1]
+		rest = rest[end+1:]
+	}
+	if len(rest) < 2 || rest[0] != ' ' {
+		return "", "", "", false
+	}
+	rawValue = rest[1:]
+	if rawValue == "" || strings.ContainsAny(rawValue, " \t") {
+		return "", "", "", false
+	}
+	return name, labelBlock, rawValue, true
+}
+
+// splitPromLabelPairs splits `k="v",k2="v2"` respecting escaped quotes.
+func splitPromLabelPairs(s string, lineNo int) ([]string, error) {
+	var pairs []string
+	var cur strings.Builder
+	inQuotes, escaped := false, false
+	for _, r := range s {
+		switch {
+		case escaped:
+			escaped = false
+			cur.WriteRune(r)
+		case r == '\\' && inQuotes:
+			escaped = true
+			cur.WriteRune(r)
+		case r == '"':
+			inQuotes = !inQuotes
+			cur.WriteRune(r)
+		case r == ',' && !inQuotes:
+			pairs = append(pairs, cur.String())
+			cur.Reset()
+		default:
+			cur.WriteRune(r)
+		}
+	}
+	if inQuotes {
+		return nil, fmt.Errorf("line %d: unterminated label quote in %q", lineNo, s)
+	}
+	if cur.Len() > 0 {
+		pairs = append(pairs, cur.String())
+	}
+	return pairs, nil
+}
+
+// parseLabels validates and unquotes one label block.
+func parseLabels(labelBlock string, lineNo int) (map[string]string, error) {
+	out := map[string]string{}
+	if labelBlock == "" {
+		return out, nil
+	}
+	inner := strings.TrimSuffix(strings.TrimPrefix(labelBlock, "{"), "}")
+	pairs, err := splitPromLabelPairs(inner, lineNo)
+	if err != nil {
+		return nil, err
+	}
+	for _, pair := range pairs {
+		k, quoted, ok := strings.Cut(pair, "=")
+		if !ok || !isLabelName(k) {
+			return nil, fmt.Errorf("line %d: bad label pair %q", lineNo, pair)
+		}
+		if len(quoted) < 2 || quoted[0] != '"' || quoted[len(quoted)-1] != '"' {
+			return nil, fmt.Errorf("line %d: unquoted label value %q", lineNo, quoted)
+		}
+		v, err := strconv.Unquote(quoted)
+		if err != nil {
+			return nil, fmt.Errorf("line %d: unescaped label value %q: %v", lineNo, quoted, err)
+		}
+		if _, dup := out[k]; dup {
+			return nil, fmt.Errorf("line %d: duplicate label %q", lineNo, k)
+		}
+		out[k] = v
+	}
+	return out, nil
+}
+
+// histogramSuffix maps a histogram family's sample name to its role
+// ("bucket", "sum", "count"), or "" when the name is not one of the
+// family's series.
+func histogramSuffix(family, name string) string {
+	for _, suf := range []string{"bucket", "sum", "count"} {
+		if name == family+"_"+suf {
+			return suf
+		}
+	}
+	return ""
+}
+
+// ParsePromText strictly validates a Prometheus text-format exposition
+// body and returns every sample keyed by name+labelBlock. Any format
+// violation — including histogram-consistency violations — returns an
+// error naming the offending line.
+func ParsePromText(body string) (map[string]float64, error) {
+	types := map[string]string{}
+	values := map[string]float64{}
+	var samples []promSample
+	var lastFamily string
+	for ln, line := range strings.Split(strings.TrimRight(body, "\n"), "\n") {
+		lineNo := ln + 1
+		if line == "" {
+			return nil, fmt.Errorf("line %d: empty line in exposition body", lineNo)
+		}
+		if strings.HasPrefix(line, "# HELP ") {
+			rest := strings.TrimPrefix(line, "# HELP ")
+			name, _, ok := strings.Cut(rest, " ")
+			if !ok || !isMetricName(name) {
+				return nil, fmt.Errorf("line %d: malformed HELP: %q", lineNo, line)
+			}
+			if _, seen := types[name]; seen {
+				return nil, fmt.Errorf("line %d: family %s declared twice", lineNo, name)
+			}
+			lastFamily = name
+			continue
+		}
+		if strings.HasPrefix(line, "# TYPE ") {
+			fields := strings.Fields(strings.TrimPrefix(line, "# TYPE "))
+			if len(fields) != 2 || !isMetricName(fields[0]) {
+				return nil, fmt.Errorf("line %d: malformed TYPE: %q", lineNo, line)
+			}
+			switch fields[1] {
+			case "counter", "gauge", "histogram", "summary", "untyped":
+			default:
+				return nil, fmt.Errorf("line %d: invalid type %q", lineNo, fields[1])
+			}
+			if fields[0] != lastFamily {
+				return nil, fmt.Errorf("line %d: TYPE for %s does not follow its HELP (%s)", lineNo, fields[0], lastFamily)
+			}
+			types[fields[0]] = fields[1]
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			continue // comment
+		}
+		name, labelBlock, rawValue, ok := splitPromSample(line)
+		if !ok || !isMetricName(name) {
+			return nil, fmt.Errorf("line %d: unparseable sample: %q", lineNo, line)
+		}
+		family, ftype, err := familyFor(types, name)
+		if err != nil {
+			return nil, fmt.Errorf("line %d: %v", lineNo, err)
+		}
+		v, err := strconv.ParseFloat(rawValue, 64)
+		if err != nil {
+			return nil, fmt.Errorf("line %d: bad value %q: %v", lineNo, rawValue, err)
+		}
+		if math.IsNaN(v) {
+			return nil, fmt.Errorf("line %d: NaN value for %s", lineNo, name)
+		}
+		if (ftype == "counter" || (ftype == "histogram" && name != family+"_sum")) && v < 0 {
+			return nil, fmt.Errorf("line %d: negative %s sample %s = %v", lineNo, ftype, name, v)
+		}
+		labels, err := parseLabels(labelBlock, lineNo)
+		if err != nil {
+			return nil, err
+		}
+		key := name + labelBlock
+		if _, dup := values[key]; dup {
+			return nil, fmt.Errorf("line %d: duplicate sample %s", lineNo, key)
+		}
+		values[key] = v
+		samples = append(samples, promSample{name: name, labelBlock: labelBlock, labels: labels, value: v, line: lineNo})
+	}
+	if err := validateHistograms(types, samples); err != nil {
+		return nil, err
+	}
+	return values, nil
+}
+
+// familyFor resolves a sample name to its declared family: the name
+// itself for scalar types, the base name for histogram _bucket/_sum/_count
+// series. Samples of undeclared families are rejected.
+func familyFor(types map[string]string, name string) (string, string, error) {
+	if t, ok := types[name]; ok {
+		if t == "histogram" {
+			return "", "", fmt.Errorf("histogram family %s has a bare sample (want %s_bucket/_sum/_count)", name, name)
+		}
+		return name, t, nil
+	}
+	for _, suf := range []string{"_bucket", "_sum", "_count"} {
+		base := strings.TrimSuffix(name, suf)
+		if base != name && types[base] == "histogram" {
+			return base, "histogram", nil
+		}
+	}
+	return "", "", fmt.Errorf("sample %s precedes its TYPE declaration", name)
+}
+
+// histSeriesKey renders a sample's labels minus "le" in sorted order, the
+// grouping key for one histogram series.
+func histSeriesKey(labels map[string]string) string {
+	keys := make([]string, 0, len(labels))
+	for k := range labels {
+		if k != "le" {
+			keys = append(keys, k)
+		}
+	}
+	sort.Strings(keys)
+	parts := make([]string, len(keys))
+	for i, k := range keys {
+		parts[i] = fmt.Sprintf("%s=%q", k, labels[k])
+	}
+	return "{" + strings.Join(parts, ",") + "}"
+}
+
+// validateHistograms enforces per-series histogram consistency: every
+// series has _sum, _count, buckets with le labels, cumulative
+// (non-decreasing in le order) bucket counts, and a +Inf bucket equal to
+// _count.
+func validateHistograms(types map[string]string, samples []promSample) error {
+	type series struct {
+		buckets  []promSample
+		sum      *promSample
+		count    *promSample
+		firstLoc int
+	}
+	byFamily := map[string]map[string]*series{}
+	for i := range samples {
+		s := samples[i]
+		var family, role string
+		for f, t := range types {
+			if t != "histogram" {
+				continue
+			}
+			if r := histogramSuffix(f, s.name); r != "" {
+				family, role = f, r
+				break
+			}
+		}
+		if family == "" {
+			continue
+		}
+		if byFamily[family] == nil {
+			byFamily[family] = map[string]*series{}
+		}
+		key := histSeriesKey(s.labels)
+		sr := byFamily[family][key]
+		if sr == nil {
+			sr = &series{firstLoc: s.line}
+			byFamily[family][key] = sr
+		}
+		switch role {
+		case "bucket":
+			if _, ok := s.labels["le"]; !ok {
+				return fmt.Errorf("line %d: %s_bucket sample without le label", s.line, family)
+			}
+			sr.buckets = append(sr.buckets, s)
+		case "sum":
+			sr.sum = &samples[i]
+		case "count":
+			sr.count = &samples[i]
+		}
+	}
+	for family, bySeries := range byFamily {
+		for key, sr := range bySeries {
+			if sr.sum == nil {
+				return fmt.Errorf("histogram %s series %s: missing _sum (near line %d)", family, key, sr.firstLoc)
+			}
+			if sr.count == nil {
+				return fmt.Errorf("histogram %s series %s: missing _count (near line %d)", family, key, sr.firstLoc)
+			}
+			if len(sr.buckets) == 0 {
+				return fmt.Errorf("histogram %s series %s: no buckets (near line %d)", family, key, sr.firstLoc)
+			}
+			type bkt struct {
+				le float64
+				v  float64
+			}
+			bkts := make([]bkt, 0, len(sr.buckets))
+			infSeen := false
+			var infVal float64
+			for _, b := range sr.buckets {
+				raw := b.labels["le"]
+				le, err := strconv.ParseFloat(raw, 64)
+				if err != nil {
+					return fmt.Errorf("line %d: histogram %s bucket has unparseable le=%q", b.line, family, raw)
+				}
+				if math.IsInf(le, +1) {
+					infSeen = true
+					infVal = b.value
+				}
+				bkts = append(bkts, bkt{le: le, v: b.value})
+			}
+			if !infSeen {
+				return fmt.Errorf("histogram %s series %s: missing +Inf bucket", family, key)
+			}
+			sort.Slice(bkts, func(i, j int) bool { return bkts[i].le < bkts[j].le })
+			for i := 1; i < len(bkts); i++ {
+				if bkts[i].v < bkts[i-1].v {
+					return fmt.Errorf("histogram %s series %s: bucket counts not cumulative (le=%v count %v < le=%v count %v)",
+						family, key, bkts[i].le, bkts[i].v, bkts[i-1].le, bkts[i-1].v)
+				}
+			}
+			if infVal != sr.count.value {
+				return fmt.Errorf("histogram %s series %s: +Inf bucket (%v) != _count (%v)", family, key, infVal, sr.count.value)
+			}
+		}
+	}
+	return nil
+}

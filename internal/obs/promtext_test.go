@@ -1,0 +1,127 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+)
+
+const validScalarBody = `# HELP app_sessions Active sessions.
+# TYPE app_sessions gauge
+app_sessions 3
+# HELP app_requests_total Requests served.
+# TYPE app_requests_total counter
+app_requests_total{session="ev\"il\nid"} 12
+app_requests_total{session="ok"} 7
+`
+
+const validHistBody = `# HELP app_latency_seconds Request latency.
+# TYPE app_latency_seconds histogram
+app_latency_seconds_bucket{outcome="hit",le="0.001"} 2
+app_latency_seconds_bucket{outcome="hit",le="0.01"} 5
+app_latency_seconds_bucket{outcome="hit",le="+Inf"} 6
+app_latency_seconds_sum{outcome="hit"} 0.42
+app_latency_seconds_count{outcome="hit"} 6
+app_latency_seconds_bucket{outcome="miss",le="0.001"} 0
+app_latency_seconds_bucket{outcome="miss",le="0.01"} 1
+app_latency_seconds_bucket{outcome="miss",le="+Inf"} 1
+app_latency_seconds_sum{outcome="miss"} 0.009
+app_latency_seconds_count{outcome="miss"} 1
+`
+
+func TestParsePromTextScalars(t *testing.T) {
+	vals, err := ParsePromText(validScalarBody)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if vals["app_sessions"] != 3 {
+		t.Fatalf("app_sessions = %v", vals["app_sessions"])
+	}
+	if got := vals[`app_requests_total{session="ev\"il\nid"}`]; got != 12 {
+		t.Fatalf("escaped-label sample = %v, want 12 (keys: %v)", got, vals)
+	}
+}
+
+func TestParsePromTextHistogram(t *testing.T) {
+	vals, err := ParsePromText(validHistBody)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := vals[`app_latency_seconds_bucket{outcome="hit",le="+Inf"}`]; got != 6 {
+		t.Fatalf("+Inf bucket = %v, want 6", got)
+	}
+	if got := vals[`app_latency_seconds_count{outcome="hit"}`]; got != 6 {
+		t.Fatalf("_count = %v, want 6", got)
+	}
+}
+
+// TestParsePromTextRejects sweeps the strict-validator failure modes: the
+// exact violations the server's /metrics contract must never produce.
+func TestParsePromTextRejects(t *testing.T) {
+	cases := []struct {
+		name string
+		body string
+		want string // substring of the expected error
+	}{
+		{"empty line", "# HELP a b\n# TYPE a gauge\n\na 1\n", "empty line"},
+		{"sample before TYPE", "a 1\n", "precedes its TYPE"},
+		{"duplicate family", "# HELP a b\n# TYPE a gauge\na 1\n# HELP a b\n# TYPE a gauge\n", "declared twice"},
+		{"TYPE without HELP", "# TYPE a gauge\na 1\n", "does not follow its HELP"},
+		{"invalid type", "# HELP a b\n# TYPE a widget\na 1\n", "invalid type"},
+		{"NaN", "# HELP a b\n# TYPE a gauge\na NaN\n", "NaN"},
+		{"negative counter", "# HELP a b\n# TYPE a counter\na -1\n", "negative"},
+		{"duplicate sample", "# HELP a b\n# TYPE a gauge\na 1\na 2\n", "duplicate sample"},
+		{"unquoted label value", "# HELP a b\n# TYPE a gauge\na{k=v} 1\n", "unquoted label"},
+		{"unterminated quote", "# HELP a b\n# TYPE a gauge\na{k=\"v} 1\n", "unparseable sample"},
+		{"bad metric name", "# HELP a b\n# TYPE a gauge\n2a 1\n", "unparseable sample"},
+		{"bare histogram sample", "# HELP h x\n# TYPE h histogram\nh 1\n", "bare sample"},
+		{"bucket without le", "# HELP h x\n# TYPE h histogram\nh_bucket 1\nh_sum 1\nh_count 1\n", "without le"},
+		{"missing +Inf", "# HELP h x\n# TYPE h histogram\nh_bucket{le=\"1\"} 1\nh_sum 1\nh_count 1\n", "missing +Inf"},
+		{"missing sum", "# HELP h x\n# TYPE h histogram\nh_bucket{le=\"+Inf\"} 1\nh_count 1\n", "missing _sum"},
+		{"missing count", "# HELP h x\n# TYPE h histogram\nh_bucket{le=\"+Inf\"} 1\nh_sum 1\n", "missing _count"},
+		{"not cumulative", "# HELP h x\n# TYPE h histogram\nh_bucket{le=\"1\"} 5\nh_bucket{le=\"2\"} 3\nh_bucket{le=\"+Inf\"} 5\nh_sum 1\nh_count 5\n", "not cumulative"},
+		{"inf != count", "# HELP h x\n# TYPE h histogram\nh_bucket{le=\"+Inf\"} 4\nh_sum 1\nh_count 5\n", "!= _count"},
+		{"unparseable le", "# HELP h x\n# TYPE h histogram\nh_bucket{le=\"wat\"} 1\nh_sum 1\nh_count 1\n", "unparseable le"},
+		{"negative bucket", "# HELP h x\n# TYPE h histogram\nh_bucket{le=\"+Inf\"} -1\nh_sum 1\nh_count -1\n", "negative"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := ParsePromText(tc.body)
+			if err == nil {
+				t.Fatalf("validator accepted %q", tc.body)
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("error %q does not mention %q", err, tc.want)
+			}
+		})
+	}
+}
+
+// TestParsePromTextNegativeSumAllowed: a histogram _sum may legitimately
+// be negative (negative observations); only buckets/counts may not.
+func TestParsePromTextNegativeSumAllowed(t *testing.T) {
+	body := "# HELP h x\n# TYPE h histogram\nh_bucket{le=\"+Inf\"} 1\nh_sum -0.5\nh_count 1\n"
+	if _, err := ParsePromText(body); err != nil {
+		t.Fatalf("negative _sum rejected: %v", err)
+	}
+}
+
+// TestParsePromTextRoundTrip: a snapshot rendered the way the server
+// renders it must pass the validator — the two halves stay in sync.
+func TestParsePromTextHostileLabels(t *testing.T) {
+	hostile := "ev\"il\\ses\nsion`}"
+	body := "# HELP a b\n# TYPE a gauge\na{s=" + quoteLabel(hostile) + "} 1\n"
+	vals, err := ParsePromText(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(vals) != 1 {
+		t.Fatalf("got %d samples", len(vals))
+	}
+}
+
+// quoteLabel quotes a label value the exposition way (escaping ", \ and
+// newline).
+func quoteLabel(s string) string {
+	r := strings.NewReplacer("\\", `\\`, "\"", `\"`, "\n", `\n`)
+	return `"` + r.Replace(s) + `"`
+}

@@ -55,6 +55,7 @@ package prefetch
 import (
 	"time"
 
+	"forecache/internal/obs"
 	"forecache/internal/tile"
 )
 
@@ -96,6 +97,11 @@ type Config struct {
 	// cache outcomes by every session engine (core.WithFeedback). Nil
 	// keeps the static curve.
 	Utility *FeedbackCollector
+	// Obs, when set, receives per-stage latency observations: how long
+	// each entry waited queued before its fetch was issued (queue wait)
+	// and how long each DBMS fetch took (backend fetch). Nil (the
+	// default) costs the hot path nothing beyond a nil check.
+	Obs *obs.Pipeline
 
 	// clock overrides time.Now; scheduler tests inject a deterministic
 	// clock so decay is testable without sleeps.

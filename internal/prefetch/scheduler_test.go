@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"forecache/internal/backend"
+	"forecache/internal/obs"
 	"forecache/internal/tile"
 )
 
@@ -345,6 +346,43 @@ func TestCloseIsIdempotentAndStopsSubmit(t *testing.T) {
 func BenchmarkSchedulerSubmitDrain(b *testing.B) {
 	store := newFakeStore()
 	s := NewScheduler(store, Config{Workers: 8, QueuePerSession: 256})
+	defer s.Close()
+	batch := make([]Request, 16)
+	for i := range batch {
+		batch[i] = Request{Coord: coordAt(i), Score: float64(i)}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Submit("s1", batch)
+		s.Submit("s2", batch)
+		s.Drain()
+	}
+}
+
+// TestSchedulerFeedsObsHistograms: with a pipeline configured, every
+// issued entry reports its queue wait and every DBMS fetch its duration.
+func TestSchedulerFeedsObsHistograms(t *testing.T) {
+	store := newFakeStore()
+	p := obs.NewPipeline(obs.Config{})
+	s := NewScheduler(store, Config{Workers: 2, Obs: p})
+	defer s.Close()
+	s.Submit("s1", []Request{{Coord: coordAt(0), Score: 2}, {Coord: coordAt(1), Score: 1}})
+	s.Drain()
+	if got := p.QueueWait.Snapshot().Count; got != 2 {
+		t.Errorf("queue-wait observations = %d, want 2", got)
+	}
+	if got := p.BackendFetch.Snapshot().Count; got != 2 {
+		t.Errorf("backend-fetch observations = %d, want 2", got)
+	}
+}
+
+// BenchmarkSchedulerSubmitDrainInstrumented is BenchmarkSchedulerSubmitDrain
+// with a live observability pipeline: the acceptance budget is staying
+// within 5% of the uninstrumented baseline (BENCH_obs.json records both).
+func BenchmarkSchedulerSubmitDrainInstrumented(b *testing.B) {
+	store := newFakeStore()
+	s := NewScheduler(store, Config{Workers: 8, QueuePerSession: 256, Obs: obs.NewPipeline(obs.Config{})})
 	defer s.Close()
 	batch := make([]Request, 16)
 	for i := range batch {

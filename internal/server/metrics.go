@@ -8,6 +8,7 @@ import (
 	"strings"
 
 	"forecache/internal/core"
+	"forecache/internal/obs"
 )
 
 // This file implements the dependency-free Prometheus text-format
@@ -80,6 +81,40 @@ func (w *promWriter) gauge(name, help string, v float64) {
 }
 func (w *promWriter) counter(name, help string, v float64) {
 	w.family(name, help, "counter", sample{value: v})
+}
+
+// histSeries is one labeled histogram within a family (e.g. one outcome
+// of the request-latency histogram).
+type histSeries struct {
+	labels map[string]string // without "le"; may be nil
+	snap   obs.HistogramSnapshot
+}
+
+// histogramFamily writes one histogram family in exposition form: per
+// series, a cumulative _bucket sample per bound plus +Inf, then _sum and
+// _count. Each series' snapshot is internally consistent (+Inf == count),
+// so the payload always passes the strict validator.
+func (w *promWriter) histogramFamily(name, help string, series ...histSeries) {
+	fmt.Fprintf(&w.b, "# HELP %s %s\n", name, help)
+	fmt.Fprintf(&w.b, "# TYPE %s histogram\n", name)
+	for _, s := range series {
+		for i, bound := range s.snap.Bounds {
+			w.histBucket(name, s.labels, formatValue(bound), s.snap.Cumulative[i])
+		}
+		w.histBucket(name, s.labels, "+Inf", s.snap.Count)
+		fmt.Fprintf(&w.b, "%s_sum%s %s\n", name, labels(s.labels), formatValue(s.snap.Sum))
+		fmt.Fprintf(&w.b, "%s_count%s %d\n", name, labels(s.labels), s.snap.Count)
+	}
+}
+
+// histBucket writes one _bucket sample with the le label merged in.
+func (w *promWriter) histBucket(name string, base map[string]string, le string, count uint64) {
+	kv := make(map[string]string, len(base)+1)
+	for k, v := range base {
+		kv[k] = v
+	}
+	kv["le"] = le
+	fmt.Fprintf(&w.b, "%s_bucket%s %d\n", name, labels(kv), count)
 }
 
 // handleMetrics renders the exposition payload. Server-side fields are
@@ -160,6 +195,24 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 				"gauge", curveSamples...)
 			pw.counter("forecache_utility_observations_total", "Cache outcomes the utility curve was fit from.", float64(st.UtilityObservations))
 		}
+	}
+
+	if s.obs != nil {
+		pw.histogramFamily("forecache_request_duration_seconds",
+			"End-to-end /tile request latency by outcome: hit (served from a middleware cache), miss (synchronous DBMS fetch), shed (refused before a tile was served).",
+			histSeries{labels: map[string]string{"outcome": obs.OutcomeHit}, snap: s.obs.RequestHit.Snapshot()},
+			histSeries{labels: map[string]string{"outcome": obs.OutcomeMiss}, snap: s.obs.RequestMiss.Snapshot()},
+			histSeries{labels: map[string]string{"outcome": obs.OutcomeShed}, snap: s.obs.RequestShed.Snapshot()},
+		)
+		pw.histogramFamily("forecache_prefetch_queue_wait_seconds",
+			"Time prefetch entries sat queued in the scheduler before their DBMS fetch was issued (or joined another's).",
+			histSeries{snap: s.obs.QueueWait.Snapshot()})
+		pw.histogramFamily("forecache_backend_fetch_duration_seconds",
+			"Wall time of DBMS tile fetches, on the response path (sync misses) and off it (prefetches).",
+			histSeries{snap: s.obs.BackendFetch.Snapshot()})
+		pw.histogramFamily("forecache_prefetch_lead_time_seconds",
+			"Prefetch lead time: cache insert of a prefetched tile to its first consumption by a request.",
+			histSeries{snap: s.obs.LeadTime.Snapshot()})
 	}
 
 	if s.alloc != nil {

@@ -12,192 +12,45 @@ import (
 
 	"forecache/internal/backend"
 	"forecache/internal/core"
+	"forecache/internal/obs"
 	"forecache/internal/prefetch"
 	"forecache/internal/recommend"
 	"forecache/internal/trace"
 )
 
-var (
-	metricNameRe = regexp.MustCompile(`^[a-zA-Z_:][a-zA-Z0-9_:]*$`)
-	labelNameRe  = regexp.MustCompile(`^[a-zA-Z_][a-zA-Z0-9_]*$`)
-)
-
-// splitSample parses a sample line into name, label block and value,
-// walking the optional label block quote-aware (label VALUES may contain
-// '{', '}', spaces — anything escaped per the exposition format).
-func splitSample(line string) (name, labelBlock, rawValue string, ok bool) {
-	i := strings.IndexAny(line, "{ ")
-	if i < 0 {
-		return "", "", "", false
-	}
-	name = line[:i]
-	rest := line[i:]
-	if rest[0] == '{' {
-		inQuotes, escaped := false, false
-		end := -1
-		for j := 1; j < len(rest); j++ {
-			c := rest[j]
-			switch {
-			case escaped:
-				escaped = false
-			case c == '\\' && inQuotes:
-				escaped = true
-			case c == '"':
-				inQuotes = !inQuotes
-			case c == '}' && !inQuotes:
-				end = j
-			}
-			if end >= 0 {
-				break
-			}
-		}
-		if end < 0 {
-			return "", "", "", false
-		}
-		labelBlock = rest[:end+1]
-		rest = rest[end+1:]
-	}
-	if len(rest) < 2 || rest[0] != ' ' {
-		return "", "", "", false
-	}
-	rawValue = rest[1:]
-	if rawValue == "" || strings.ContainsAny(rawValue, " \t") {
-		return "", "", "", false
-	}
-	return name, labelBlock, rawValue, true
-}
-
-// validatePromText is a strict Prometheus text-format (version 0.0.4)
-// validator: every sample must parse, carry a valid metric name, follow a
-// TYPE declaration for its family, use valid label names and properly
-// quoted label values, and families must not repeat.
+// validatePromText runs the shared strict Prometheus text-format
+// validator (obs.ParsePromText — also the live-scrape integration check's
+// engine) and fails the test on any format or histogram-consistency
+// violation.
 func validatePromText(t *testing.T, body string) map[string]float64 {
 	t.Helper()
-	types := map[string]string{}
-	values := map[string]float64{}
-	var lastFamily string
-	for ln, line := range strings.Split(strings.TrimRight(body, "\n"), "\n") {
-		lineNo := ln + 1
-		if line == "" {
-			t.Fatalf("line %d: empty line in exposition body", lineNo)
-		}
-		if strings.HasPrefix(line, "# HELP ") {
-			rest := strings.TrimPrefix(line, "# HELP ")
-			name, _, ok := strings.Cut(rest, " ")
-			if !ok || !metricNameRe.MatchString(name) {
-				t.Fatalf("line %d: malformed HELP: %q", lineNo, line)
-			}
-			if _, seen := types[name]; seen {
-				t.Fatalf("line %d: family %s declared twice", lineNo, name)
-			}
-			lastFamily = name
-			continue
-		}
-		if strings.HasPrefix(line, "# TYPE ") {
-			fields := strings.Fields(strings.TrimPrefix(line, "# TYPE "))
-			if len(fields) != 2 || !metricNameRe.MatchString(fields[0]) {
-				t.Fatalf("line %d: malformed TYPE: %q", lineNo, line)
-			}
-			if fields[1] != "counter" && fields[1] != "gauge" && fields[1] != "histogram" && fields[1] != "summary" && fields[1] != "untyped" {
-				t.Fatalf("line %d: invalid type %q", lineNo, fields[1])
-			}
-			if fields[0] != lastFamily {
-				t.Fatalf("line %d: TYPE for %s does not follow its HELP (%s)", lineNo, fields[0], lastFamily)
-			}
-			types[fields[0]] = fields[1]
-			continue
-		}
-		if strings.HasPrefix(line, "#") {
-			continue // comment
-		}
-		name, labelBlock, rawValue, ok := splitSample(line)
-		if !ok || !metricNameRe.MatchString(name) {
-			t.Fatalf("line %d: unparseable sample: %q", lineNo, line)
-		}
-		if _, ok := types[name]; !ok {
-			t.Fatalf("line %d: sample %s precedes its TYPE declaration", lineNo, name)
-		}
-		v, err := strconv.ParseFloat(rawValue, 64)
-		if err != nil {
-			t.Fatalf("line %d: bad value %q: %v", lineNo, rawValue, err)
-		}
-		if math.IsNaN(v) {
-			t.Fatalf("line %d: NaN value for %s", lineNo, name)
-		}
-		if types[name] == "counter" && v < 0 {
-			t.Fatalf("line %d: negative counter %s = %v", lineNo, name, v)
-		}
-		if labelBlock != "" {
-			inner := strings.TrimSuffix(strings.TrimPrefix(labelBlock, "{"), "}")
-			for _, pair := range splitLabelPairs(t, inner, lineNo) {
-				k, quoted, ok := strings.Cut(pair, "=")
-				if !ok || !labelNameRe.MatchString(k) {
-					t.Fatalf("line %d: bad label pair %q", lineNo, pair)
-				}
-				if len(quoted) < 2 || quoted[0] != '"' || quoted[len(quoted)-1] != '"' {
-					t.Fatalf("line %d: unquoted label value %q", lineNo, quoted)
-				}
-				if _, err := strconv.Unquote(quoted); err != nil {
-					t.Fatalf("line %d: unescaped label value %q: %v", lineNo, quoted, err)
-				}
-			}
-		}
-		values[name+labelBlock] = v
+	values, err := obs.ParsePromText(body)
+	if err != nil {
+		t.Fatalf("exposition body rejected: %v", err)
 	}
 	return values
 }
 
-// splitLabelPairs splits `k="v",k2="v2"` respecting escaped quotes.
-func splitLabelPairs(t *testing.T, s string, lineNo int) []string {
-	t.Helper()
-	var pairs []string
-	var cur strings.Builder
-	inQuotes, escaped := false, false
-	for _, r := range s {
-		switch {
-		case escaped:
-			escaped = false
-			cur.WriteRune(r)
-		case r == '\\' && inQuotes:
-			escaped = true
-			cur.WriteRune(r)
-		case r == '"':
-			inQuotes = !inQuotes
-			cur.WriteRune(r)
-		case r == ',' && !inQuotes:
-			pairs = append(pairs, cur.String())
-			cur.Reset()
-		default:
-			cur.WriteRune(r)
-		}
-	}
-	if inQuotes {
-		t.Fatalf("line %d: unterminated label quote in %q", lineNo, s)
-	}
-	if cur.Len() > 0 {
-		pairs = append(pairs, cur.String())
-	}
-	return pairs
-}
-
 // metricsServer builds a server with an attached scheduler whose admission
-// control uses a (cold) learned utility curve.
+// control uses a (cold) learned utility curve, plus a full observability
+// pipeline so the histogram families are exported.
 func metricsServer(t *testing.T) (*Server, *prefetch.Scheduler) {
 	t.Helper()
 	pyr := testPyramid(t)
 	db := backend.NewDBMS(pyr, backend.DefaultLatency(), nil)
 	fc := prefetch.NewFeedbackCollector(4)
+	pipe := obs.NewPipeline(obs.Config{})
 	sched := prefetch.NewScheduler(db, prefetch.Config{
-		Workers: 2, QueuePerSession: 8, GlobalQueue: 16, Utility: fc,
+		Workers: 2, QueuePerSession: 8, GlobalQueue: 16, Utility: fc, Obs: pipe,
 	})
 	factory := func(session string) (*core.Engine, error) {
 		m := recommend.NewMomentum()
 		return core.NewEngine(db, nil, core.SinglePolicy{Model: m.Name()},
 			[]recommend.Model{m}, core.Config{K: 4},
-			core.WithScheduler(sched, session), core.WithFeedback(fc))
+			core.WithScheduler(sched, session), core.WithFeedback(fc), core.WithObs(pipe))
 	}
 	srv := New(Meta{Levels: pyr.NumLevels(), TileSize: pyr.TileSize(), Attrs: pyr.Attrs()},
-		factory, WithScheduler(sched), WithMetrics())
+		factory, WithScheduler(sched), WithMetrics(), WithObs(pipe))
 	t.Cleanup(srv.Close)
 	return srv, sched
 }
@@ -256,6 +109,28 @@ func TestMetricsEndpointValidates(t *testing.T) {
 	}
 	if curvePoints != 4 {
 		t.Errorf("utility curve samples = %d, want 4 (collector positions)", curvePoints)
+	}
+	// The four histogram families are exported and already passed the
+	// validator's histogram-consistency checks above; pin their contents.
+	if got := values[`forecache_request_duration_seconds_count{outcome="miss"}`]; got != 3 {
+		t.Errorf("request-duration miss count = %v, want 3 (three cold-cache /tile requests)", got)
+	}
+	for _, key := range []string{
+		`forecache_request_duration_seconds_bucket{le="+Inf",outcome="hit"}`,
+		`forecache_request_duration_seconds_count{outcome="shed"}`,
+		`forecache_prefetch_queue_wait_seconds_count`,
+		`forecache_backend_fetch_duration_seconds_count`,
+		`forecache_prefetch_lead_time_seconds_count`,
+	} {
+		if _, ok := values[key]; !ok {
+			t.Errorf("missing histogram sample %s", key)
+		}
+	}
+	if values[`forecache_prefetch_queue_wait_seconds_count`] < 1 {
+		t.Error("queue-wait histogram empty after a drained prefetch batch")
+	}
+	if values[`forecache_backend_fetch_duration_seconds_count`] < 1 {
+		t.Error("backend-fetch histogram empty after prefetch fetches")
 	}
 	// The cold curve is the static base^p, exported per position.
 	if got := values[`forecache_utility_position_factor{position="1"}`]; math.Abs(got-0.85) > 1e-9 {

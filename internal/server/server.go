@@ -17,13 +17,17 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"net/http/pprof"
 	"net/url"
+	"runtime"
+	"runtime/debug"
 	"strconv"
 	"sync"
 	"time"
 
 	"forecache/internal/cache"
 	"forecache/internal/core"
+	"forecache/internal/obs"
 	"forecache/internal/prefetch"
 	"forecache/internal/tile"
 )
@@ -80,6 +84,23 @@ func WithAllocation(p *core.AdaptivePolicy) Option {
 	return func(s *Server) { s.alloc = p }
 }
 
+// WithObs attaches the deployment's observability pipeline: every /tile
+// request gets a trace (id returned as X-Trace-ID, span breakdown
+// retained in the pipeline's ring buffer, request latency fed to the
+// outcome-split histogram), /metrics additionally exports the latency
+// histogram families, and — when the pipeline keeps a trace buffer —
+// GET /debug/traces serves the slowest retained traces. Nil is a no-op.
+func WithObs(p *obs.Pipeline) Option {
+	return func(s *Server) { s.obs = p }
+}
+
+// WithPprof mounts net/http/pprof's profiling handlers under
+// /debug/pprof/ (opt-in: profiling endpoints expose internals and cost
+// CPU, so they are off unless a deployment asks).
+func WithPprof() Option {
+	return func(s *Server) { s.pprofOn = true }
+}
+
 // session is one live engine plus its eviction bookkeeping.
 type session struct {
 	id       string
@@ -97,9 +118,12 @@ type Server struct {
 	sched       *prefetch.Scheduler
 	alloc       *core.AdaptivePolicy
 	metrics     bool
+	obs         *obs.Pipeline // nil => untraced
+	pprofOn     bool
 	maxSessions int
 	ttl         time.Duration
 	now         func() time.Time // test hook
+	start       time.Time        // construction time, for /stats uptime
 
 	mu       sync.Mutex
 	sessions map[string]*session
@@ -126,12 +150,26 @@ func New(meta Meta, factory EngineFactory, opts ...Option) *Server {
 	for _, opt := range opts {
 		opt(s)
 	}
+	s.start = s.now()
 	s.mux.HandleFunc("GET /meta", s.handleMeta)
 	s.mux.HandleFunc("GET /tile", s.handleTile)
 	s.mux.HandleFunc("GET /stats", s.handleStats)
 	s.mux.HandleFunc("POST /reset", s.handleReset)
 	if s.metrics {
 		s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	}
+	if s.obs != nil && s.obs.Traces != nil {
+		s.mux.HandleFunc("GET /debug/traces", s.handleTraces)
+	}
+	if s.pprofOn {
+		// pprof.Index routes named profiles (heap, goroutine, ...) by path
+		// suffix, so the subtree pattern covers them all.
+		s.mux.HandleFunc("GET /debug/pprof/", pprof.Index)
+		s.mux.HandleFunc("GET /debug/pprof/cmdline", pprof.Cmdline)
+		s.mux.HandleFunc("GET /debug/pprof/profile", pprof.Profile)
+		s.mux.HandleFunc("GET /debug/pprof/symbol", pprof.Symbol)
+		s.mux.HandleFunc("POST /debug/pprof/symbol", pprof.Symbol)
+		s.mux.HandleFunc("GET /debug/pprof/trace", pprof.Trace)
 	}
 	return s
 }
@@ -328,7 +366,17 @@ func (s *Server) handleMeta(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleTile(w http.ResponseWriter, r *http.Request) {
+	// Trace the whole request (no-ops when untraced). A request refused on
+	// any early-out below finishes without an outcome and is recorded as
+	// shed; the engine sets hit/miss and the stage spans.
+	rt := s.obs.StartTrace(sessionID(r), r.URL.RawQuery)
+	defer rt.Finish()
+	if id := rt.ID(); id != "" {
+		w.Header().Set("X-Trace-ID", id)
+	}
+	endSession := rt.StartSpan("session")
 	eng, err := s.session(r)
+	endSession()
 	if err != nil {
 		status := http.StatusInternalServerError
 		if errors.Is(err, ErrClosed) {
@@ -342,7 +390,7 @@ func (s *Server) handleTile(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, err)
 		return
 	}
-	resp, err := eng.Request(c)
+	resp, err := eng.RequestTraced(c, rt)
 	if err != nil {
 		httpError(w, http.StatusBadRequest, err)
 		return
@@ -375,7 +423,36 @@ type StatsResponse struct {
 	// Allocation maps phase name -> model -> current smoothed budget share
 	// of the deployment's shared AdaptivePolicy.
 	Allocation map[string]map[string]float64 `json:"allocation,omitempty"`
+	// Uptime is seconds since the server was constructed; with GoVersion
+	// and Build it lets fleet dashboards tell deployments (and deploys)
+	// apart.
+	Uptime    float64 `json:"uptime_seconds"`
+	GoVersion string  `json:"go_version"`
+	// Build carries the main module path/version and VCS stamp from
+	// runtime/debug.ReadBuildInfo (absent in non-module test binaries).
+	Build map[string]string `json:"build,omitempty"`
 }
+
+// buildInfoMap extracts the identifying subset of the binary's build info
+// once; ReadBuildInfo walks the whole embedded blob, not worth repeating
+// per /stats probe.
+var buildInfoMap = sync.OnceValue(func() map[string]string {
+	bi, ok := debug.ReadBuildInfo()
+	if !ok {
+		return nil
+	}
+	out := map[string]string{"path": bi.Path}
+	if bi.Main.Version != "" {
+		out["version"] = bi.Main.Version
+	}
+	for _, set := range bi.Settings {
+		switch set.Key {
+		case "vcs.revision", "vcs.time", "vcs.modified", "GOOS", "GOARCH":
+			out[set.Key] = set.Value
+		}
+	}
+	return out
+})
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	// Snapshot the server-side fields under one hold of the server lock
@@ -384,7 +461,14 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	// under one hold of the scheduler lock. /stats stays answerable during
 	// and after Close — it reports the torn-down state instead of racing it.
 	s.mu.Lock()
-	out := StatsResponse{Sessions: len(s.sessions), Evicted: s.evicted, Closed: s.closed}
+	out := StatsResponse{
+		Sessions:  len(s.sessions),
+		Evicted:   s.evicted,
+		Closed:    s.closed,
+		Uptime:    max(0, s.now().Sub(s.start).Seconds()),
+		GoVersion: runtime.Version(),
+		Build:     buildInfoMap(),
+	}
 	var eng *core.Engine
 	if sess, ok := s.sessions[sessionID(r)]; ok {
 		eng = sess.eng
