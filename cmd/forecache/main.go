@@ -12,13 +12,18 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
 	"math"
+	"net"
 	"net/http"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
 	"time"
 
 	"forecache"
@@ -74,8 +79,13 @@ subcommands:
             [-adaptive-allocation] [-hotspot] [-alloc-floor]
             [-alloc-warmup] [-alloc-max-step] [-metrics]
             [-tracing] [-trace-buffer] [-pprof] [-log-level]
+            [-state-dir] [-snapshot-interval]
             [-shared-tiles] [-max-sessions] [-session-ttl]
                                           run the HTTP middleware
+                                          (SIGINT/SIGTERM shut down
+                                          gracefully: in-flight requests
+                                          drain and learned state is
+                                          snapshotted to -state-dir)
   explore   -seed -size -tile -moves     walk a move script, print tiles
   render    -seed -size -tile -level -out render a zoom level to PNG
   bench     -seed -size -tile [-list] [names...|all]  run experiments
@@ -176,6 +186,8 @@ func cmdServe(args []string) error {
 	traceBuffer := fs.Int("trace-buffer", 256, "completed request traces retained for /debug/traces (negative keeps histograms only)")
 	pprofOn := fs.Bool("pprof", false, "expose Go's net/http/pprof profiling handlers under GET /debug/pprof/")
 	logLevel := fs.String("log-level", "info", "structured request log level: debug, info, warn or error (debug logs every finished trace)")
+	stateDir := fs.String("state-dir", "", "directory for crash-safe snapshots of learned state (utility curve, allocation shares, hotspot table); restored at startup, written on -snapshot-interval and at shutdown (empty disables)")
+	snapshotInterval := fs.Duration("snapshot-interval", 0, "background snapshot cadence (0 = 30s default; negative disables the ticker, shutdown still snapshots)")
 	sharedTiles := fs.Int("shared-tiles", 512, "cross-session shared tile pool capacity (0 disables)")
 	maxSessions := fs.Int("max-sessions", 1024, "live session cap, LRU-evicted past it (0 = unlimited)")
 	sessionTTL := fs.Duration("session-ttl", 30*time.Minute, "evict sessions idle this long (0 = never)")
@@ -211,6 +223,8 @@ func cmdServe(args []string) error {
 		TraceBuffer:        *traceBuffer,
 		Pprof:              *pprofOn,
 		Logger:             logger,
+		StateDir:           *stateDir,
+		SnapshotInterval:   *snapshotInterval,
 		SharedTiles:        *sharedTiles,
 		MaxSessions:        *maxSessions,
 		SessionTTL:         *sessionTTL,
@@ -234,8 +248,49 @@ func cmdServe(args []string) error {
 	if *pprofOn {
 		endpoints += ", /debug/pprof/"
 	}
+
+	// Listen first so a bad address still fails fast with a non-zero exit,
+	// then serve until the process is asked to stop. http.ListenAndServe
+	// would block until the process is killed, which meant the
+	// `defer srv.Close()` above NEVER ran: no graceful shutdown, no final
+	// state snapshot. Instead, SIGINT/SIGTERM cancel the signal context,
+	// in-flight requests drain through http.Server.Shutdown, and returning
+	// normally lets the deferred srv.Close tear down the scheduler and
+	// write the final snapshot.
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return err
+	}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
 	fmt.Printf("serving tiles on %s (%s; %s; POST /reset)\n", *addr, mode, endpoints)
-	return http.ListenAndServe(*addr, srv)
+	return serveUntilDone(ctx, &http.Server{Handler: srv}, ln)
+}
+
+// serveUntilDone serves httpSrv on ln until the listener fails or ctx is
+// cancelled (the signal path). On cancellation it drains in-flight
+// requests via Shutdown — bounded, so a wedged client cannot hold the
+// process open forever — and reports a clean nil; http.ErrServerClosed is
+// likewise a clean exit, while real listener errors stay non-nil.
+func serveUntilDone(ctx context.Context, httpSrv *http.Server, ln net.Listener) error {
+	errc := make(chan error, 1)
+	go func() { errc <- httpSrv.Serve(ln) }()
+	select {
+	case err := <-errc:
+		if errors.Is(err, http.ErrServerClosed) {
+			return nil
+		}
+		return err
+	case <-ctx.Done():
+		fmt.Fprintln(os.Stderr, "signal received: draining connections, snapshotting state...")
+		sctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		if err := httpSrv.Shutdown(sctx); err != nil {
+			httpSrv.Close()
+			return fmt.Errorf("shutdown: %w", err)
+		}
+		return nil
+	}
 }
 
 // cmdScrape fetches a Prometheus text-format endpoint and runs the same

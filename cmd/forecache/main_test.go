@@ -1,11 +1,14 @@
 package main
 
 import (
+	"context"
+	"net"
 	"net/http"
 	"net/http/httptest"
 	"os"
 	"path/filepath"
 	"testing"
+	"time"
 )
 
 // The subcommands are exercised with tiny worlds so CLI plumbing (flag
@@ -106,5 +109,54 @@ func TestCmdScrapeValidatesExposition(t *testing.T) {
 func TestCmdServeRejectsBadLogLevel(t *testing.T) {
 	if err := cmdServe(tinyWorld("-log-level", "loud")); err == nil {
 		t.Error("unknown log level should fail before building the world")
+	}
+}
+
+// TestServeUntilDoneShutsDownOnSignal drives the serve loop's shutdown
+// path with a cancelable context standing in for SIGTERM: the loop must
+// drain the http.Server and return nil so deferred cleanup (the final
+// snapshot in cmdServe) runs.
+func TestServeUntilDoneShutsDownOnSignal(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	httpSrv := &http.Server{Handler: http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusOK)
+	})}
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() { done <- serveUntilDone(ctx, httpSrv, ln) }()
+
+	// The server really serves before the "signal" arrives.
+	resp, err := http.Get("http://" + ln.Addr().String() + "/")
+	if err != nil {
+		t.Fatalf("server not serving: %v", err)
+	}
+	resp.Body.Close()
+
+	cancel()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("shutdown returned %v, want nil (clean exit)", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("serveUntilDone did not return after the signal")
+	}
+}
+
+// TestServeUntilDonePropagatesServeError: a listener failing under the
+// server must surface as a non-nil error (non-zero exit), not be mistaken
+// for a clean shutdown.
+func TestServeUntilDonePropagatesServeError(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ln.Close() // Serve on a closed listener fails immediately
+	httpSrv := &http.Server{Handler: http.NewServeMux()}
+	if err := serveUntilDone(context.Background(), httpSrv, ln); err == nil {
+		t.Fatal("serve error swallowed; want non-nil")
 	}
 }

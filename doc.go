@@ -87,6 +87,18 @@
 //     registers net/http/pprof under GET /debug/pprof/. The same
 //     package's strict exposition parser backs the `forecache scrape`
 //     CLI subcommand, which CI points at a live server;
+//   - crash-safe warm restarts (internal/persist): with
+//     MiddlewareConfig.StateDir (serve -state-dir) the deployment's
+//     learned state — the position-utility curve, the per-phase
+//     allocation shares and the hotspot counter table — is snapshotted
+//     to one versioned, per-section-checksummed file off the request
+//     path (SnapshotInterval, default 30s; always again on Close, which
+//     serve's SIGINT/SIGTERM handler now reaches) and restored in
+//     NewServer before the first session, so a deploy or crash no
+//     longer pays the full warmup tax. Writes are atomic (temp file +
+//     fsync + rename), a damaged or version-skewed section cold-starts
+//     only its own family, and snapshot health rides /stats and
+//     /metrics (forecache_snapshot_age_seconds and friends);
 //   - a user-study simulator (internal/study) and the experiment harness
 //     reproducing every table and figure of the paper (internal/eval).
 //

@@ -11,6 +11,7 @@ import (
 	"forecache/internal/eval"
 	"forecache/internal/modis"
 	"forecache/internal/obs"
+	"forecache/internal/persist"
 	"forecache/internal/phase"
 	"forecache/internal/prefetch"
 	"forecache/internal/recommend"
@@ -283,6 +284,21 @@ type MiddlewareConfig struct {
 	// line per finished trace, carrying the trace id). nil logs nothing.
 	// Only meaningful with Tracing.
 	Logger *slog.Logger
+	// StateDir enables warm restarts: the deployment's learned state — the
+	// FeedbackCollector's position-utility curve and per-(phase, model)
+	// allocation rates, the AdaptivePolicy's per-phase shares, the Hotspot
+	// model's counter table (whichever of them the config enables) — is
+	// snapshotted into this directory on an interval and at Close, and
+	// restored by the next NewServer before the first session is built, so
+	// a deploy or crash does not re-pay the warmup tax. Snapshots are
+	// versioned, checksummed and written atomically; a damaged section
+	// cold-starts only its own family. Empty disables persistence. Only
+	// NewServer honors this.
+	StateDir string
+	// SnapshotInterval is the background snapshot cadence. 0 means the 30s
+	// default; negative disables the interval ticker (a final snapshot is
+	// still written at Close). Only meaningful with StateDir.
+	SnapshotInterval time.Duration
 	// SharedTiles > 0 wraps the server's DBMS in a cross-session
 	// backend.SharedPool of that many tiles, so popular tiles are fetched
 	// once and reused by every session. Only NewServer honors this.
@@ -582,6 +598,47 @@ func (d *Dataset) NewServer(train []*trace.Trace, cfg MiddlewareConfig) (*server
 		opts = append(opts, server.WithSessionTTL(cfg.SessionTTL))
 	}
 	hotspot := arts.set.Hotspot()
+	// Warm restart: restore the learned-state families from the snapshot
+	// directory BEFORE the first session engine is built, then start the
+	// interval ticker. The store is handed to the server so Close writes
+	// the final snapshot and /stats + /metrics report snapshot health.
+	if cfg.StateDir != "" {
+		var families []persist.Family
+		if fc != nil {
+			families = append(families, persist.Family{
+				Name: "feedback", Version: prefetch.FeedbackStateVersion,
+				Export: fc.ExportState, Import: fc.ImportState,
+			})
+		}
+		if adaptive != nil {
+			families = append(families, persist.Family{
+				Name: "allocation", Version: core.AllocationStateVersion,
+				Export: adaptive.ExportState, Import: adaptive.ImportState,
+			})
+		}
+		if hotspot != nil {
+			families = append(families, persist.Family{
+				Name: "hotspot", Version: recommend.HotspotStateVersion,
+				Export: hotspot.ExportState, Import: hotspot.ImportState,
+			})
+		}
+		if len(families) > 0 {
+			store, err := persist.NewStore(persist.Config{
+				Dir:      cfg.StateDir,
+				Interval: cfg.SnapshotInterval,
+				Logger:   cfg.Logger,
+			}, families...)
+			if err != nil {
+				if sched != nil {
+					sched.Close() // don't leak the worker pool on a construction error
+				}
+				return nil, fmt.Errorf("forecache: %w", err)
+			}
+			store.Restore()
+			store.Start()
+			opts = append(opts, server.WithPersist(store))
+		}
+	}
 	factory := func(session string) (*core.Engine, error) {
 		var engOpts []core.Option
 		if sched != nil {

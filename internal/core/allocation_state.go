@@ -1,0 +1,106 @@
+package core
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"sort"
+
+	"forecache/internal/trace"
+)
+
+// This file is the AdaptivePolicy's snapshot surface (internal/persist):
+// the learned per-phase share vectors plus the warmup evidence marks
+// (moved, lastObs) serialize so a restarted deployment resumes from the
+// converged split instead of re-warming from the static prior.
+
+// AllocationStateVersion is the snapshot section format version for
+// AdaptivePolicy state.
+const AllocationStateVersion = 1
+
+// allocationState is the serialized policy, phases sorted by name so
+// export→import→export round-trips byte for byte.
+type allocationState struct {
+	Phases []phaseState `json:"phases"`
+}
+
+// phaseState is one phase's serialized share vector and evidence marks.
+type phaseState struct {
+	Phase string `json:"phase"`
+	// Shares is the smoothed share per model; within a phase they sum to 1.
+	Shares map[string]float64 `json:"shares"`
+	// Moved records that the shares diverged from the prior at least once
+	// (the warmup-regression guard keyed on it survives restarts).
+	Moved bool `json:"moved"`
+	// LastObs is the phase outcome total at the last hysteresis step.
+	LastObs int `json:"last_obs"`
+}
+
+// ExportState serializes the per-phase shares under one lock hold.
+func (p *AdaptivePolicy) ExportState() ([]byte, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	st := allocationState{Phases: make([]phaseState, 0, len(p.phases))}
+	for ph, ps := range p.phases {
+		shares := make(map[string]float64, len(ps.shares))
+		for m, v := range ps.shares {
+			shares[m] = v
+		}
+		st.Phases = append(st.Phases, phaseState{
+			Phase: ph.String(), Shares: shares, Moved: ps.moved, LastObs: ps.lastObs,
+		})
+	}
+	sort.Slice(st.Phases, func(i, j int) bool { return st.Phases[i].Phase < st.Phases[j].Phase })
+	return json.Marshal(st)
+}
+
+// ImportState validates a previously exported payload and replaces the
+// policy's per-phase shares. A snapshot whose model set differs from the
+// policy's (a recommender was added, removed or renamed since the
+// snapshot) is rejected wholesale — shares over a different model set are
+// meaningless, and the correct recovery is the cold-start prior. On any
+// validation failure the policy is left untouched.
+func (p *AdaptivePolicy) ImportState(raw []byte) error {
+	var st allocationState
+	if err := json.Unmarshal(raw, &st); err != nil {
+		return fmt.Errorf("core: allocation state: %w", err)
+	}
+	phases := make(map[trace.Phase]*phaseShares, len(st.Phases))
+	for _, ps := range st.Phases {
+		ph, err := trace.ParsePhase(ps.Phase)
+		if err != nil {
+			return fmt.Errorf("core: allocation state: %w", err)
+		}
+		if _, dup := phases[ph]; dup {
+			return fmt.Errorf("core: allocation state: duplicate phase %s", ps.Phase)
+		}
+		if len(ps.Shares) != len(p.models) {
+			return fmt.Errorf("core: allocation state: phase %s has %d models, policy has %d",
+				ps.Phase, len(ps.Shares), len(p.models))
+		}
+		sum := 0.0
+		shares := make(map[string]float64, len(p.models))
+		for _, m := range p.models {
+			v, ok := ps.Shares[m]
+			if !ok {
+				return fmt.Errorf("core: allocation state: phase %s is missing model %q", ps.Phase, m)
+			}
+			if math.IsNaN(v) || v < 0 || v > 1 {
+				return fmt.Errorf("core: allocation state: phase %s model %q share %v outside [0, 1]", ps.Phase, m, v)
+			}
+			shares[m] = v
+			sum += v
+		}
+		if math.Abs(sum-1) > 1e-6 {
+			return fmt.Errorf("core: allocation state: phase %s shares sum to %v", ps.Phase, sum)
+		}
+		if ps.LastObs < 0 {
+			return fmt.Errorf("core: allocation state: phase %s outcome clock %d negative", ps.Phase, ps.LastObs)
+		}
+		phases[ph] = &phaseShares{shares: shares, moved: ps.Moved, lastObs: ps.LastObs}
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.phases = phases
+	return nil
+}

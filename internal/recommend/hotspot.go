@@ -44,6 +44,11 @@ func (c HotspotConfig) withDefaults() HotspotConfig {
 // coordinates clamp into the last bucket (pyramids are far shallower).
 const hotspotMaxLevels = 64
 
+// sweepMinWeight is the noise floor: entries whose decayed weight has
+// fallen below it are dropped by the sweep — and by snapshot export, so a
+// persisted table carries only the evidence a sweep would keep.
+const sweepMinWeight = 1e-3
+
 // hotEntry is one tile's decayed consumption weight, stored together with
 // the level observation count it was last normalized at (decay is applied
 // lazily: weight_effective = score * gamma^(levelN - lastN)).
@@ -178,7 +183,7 @@ func (h *Hotspot) sweepLocked(s *hotStripe) {
 	var live []weighted
 	for c, e := range s.w {
 		eff := e.score * math.Pow(h.gamma, float64(h.levelN[level(c)].Load()-e.lastN))
-		if eff < 1e-3 {
+		if eff < sweepMinWeight {
 			delete(s.w, c)
 			continue
 		}

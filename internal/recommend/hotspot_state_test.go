@@ -1,0 +1,171 @@
+package recommend
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+
+	"forecache/internal/tile"
+	"forecache/internal/trace"
+)
+
+func trainHotspot(h *Hotspot) {
+	coords := []tile.Coord{
+		{Level: 2, Y: 1, X: 1}, {Level: 2, Y: 1, X: 2}, {Level: 2, Y: 3, X: 0},
+		{Level: 4, Y: 7, X: 7}, {Level: 4, Y: 7, X: 8},
+	}
+	for i := 0; i < 200; i++ {
+		h.ObserveConsumption(coords[i%len(coords)], trace.Foraging)
+	}
+}
+
+func TestHotspotStateRoundTripBytes(t *testing.T) {
+	h := NewHotspot(HotspotConfig{HalfLife: 64})
+	trainHotspot(h)
+	first, err := h.ExportState()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	g := NewHotspot(HotspotConfig{HalfLife: 64})
+	if err := g.ImportState(first); err != nil {
+		t.Fatal(err)
+	}
+	second, err := g.ExportState()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(first, second) {
+		t.Errorf("export -> import -> export not byte-identical:\n%s\nvs\n%s", first, second)
+	}
+	for _, c := range []tile.Coord{{Level: 2, Y: 1, X: 1}, {Level: 4, Y: 7, X: 7}, {Level: 9, Y: 0, X: 0}} {
+		if got, want := g.Share(c), h.Share(c); got != want {
+			t.Errorf("Share(%v) = %v after restore, want %v", c, got, want)
+		}
+	}
+}
+
+// TestHotspotStateSurvivesRestripe: the snapshot carries raw weights, not
+// stripe layout, so a deployment that changed Stripes still restores.
+func TestHotspotStateSurvivesRestripe(t *testing.T) {
+	h := NewHotspot(HotspotConfig{HalfLife: 64, Stripes: 16})
+	trainHotspot(h)
+	raw, err := h.ExportState()
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := NewHotspot(HotspotConfig{HalfLife: 64, Stripes: 3})
+	if err := g.ImportState(raw); err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range []tile.Coord{{Level: 2, Y: 1, X: 1}, {Level: 2, Y: 3, X: 0}, {Level: 4, Y: 7, X: 8}} {
+		if got, want := g.Share(c), h.Share(c); got != want {
+			t.Errorf("Share(%v) = %v after restripe restore, want %v", c, got, want)
+		}
+	}
+}
+
+// TestHotspotExportDropsNoise: an entry whose decayed weight is below the
+// sweep's noise floor does not make it into a snapshot.
+func TestHotspotExportDropsNoise(t *testing.T) {
+	h := NewHotspot(HotspotConfig{HalfLife: 1, Stripes: 1})
+	stale := tile.Coord{Level: 3, Y: 0, X: 0}
+	hot := tile.Coord{Level: 3, Y: 5, X: 5}
+	h.ObserveConsumption(stale, trace.Foraging)
+	// 12 further observations at the level decay stale's weight to
+	// 0.5^12 ~= 2.4e-4, below the 1e-3 noise floor.
+	for i := 0; i < 12; i++ {
+		h.ObserveConsumption(hot, trace.Foraging)
+	}
+	raw, err := h.ExportState()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var st hotspotState
+	if err := json.Unmarshal(raw, &st); err != nil {
+		t.Fatal(err)
+	}
+	if len(st.Entries) != 1 {
+		t.Fatalf("exported %d entries, want only the hot tile", len(st.Entries))
+	}
+	if coordOf(st.Entries[0]) != hot {
+		t.Errorf("survivor = %v, want %v", coordOf(st.Entries[0]), hot)
+	}
+}
+
+// TestHotspotExportBoundsStripe: a stripe above the sweep target exports
+// only its highest-weight entries, so snapshots of long-lived deployments
+// stay bounded.
+func TestHotspotExportBoundsStripe(t *testing.T) {
+	h := NewHotspot(HotspotConfig{HalfLife: 1 << 20, Stripes: 1, MaxPerStripe: 16})
+	// 40 tiles, observed 1..40 times: weights are distinct, the top ones
+	// are the most-observed.
+	for i := 0; i < 40; i++ {
+		c := tile.Coord{Level: 5, Y: i, X: i}
+		for j := 0; j <= i; j++ {
+			h.ObserveConsumption(c, trace.Foraging)
+		}
+	}
+	raw, err := h.ExportState()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var st hotspotState
+	if err := json.Unmarshal(raw, &st); err != nil {
+		t.Fatal(err)
+	}
+	target := 16 - 16/8
+	if len(st.Entries) != target {
+		t.Fatalf("exported %d entries, want sweep target %d", len(st.Entries), target)
+	}
+	for _, e := range st.Entries {
+		if e.Y < 40-target {
+			t.Errorf("low-weight tile %v survived the export bound", coordOf(e))
+		}
+	}
+}
+
+func TestHotspotImportRejectsBadState(t *testing.T) {
+	valid := func() hotspotState {
+		st := hotspotState{LevelN: make([]int64, hotspotMaxLevels)}
+		st.LevelN[2] = 10
+		st.Entries = []hotspotEntry{{Level: 2, Y: 1, X: 1, Score: 2.5, LastN: 8}}
+		return st
+	}
+	cases := []struct {
+		name   string
+		mutate func(*hotspotState)
+	}{
+		{"short level table", func(s *hotspotState) { s.LevelN = s.LevelN[:10] }},
+		{"negative level counter", func(s *hotspotState) { s.LevelN[0] = -1 }},
+		{"duplicate entry", func(s *hotspotState) { s.Entries = append(s.Entries, s.Entries[0]) }},
+		{"zero score", func(s *hotspotState) { s.Entries[0].Score = 0 }},
+		{"clock past level counter", func(s *hotspotState) { s.Entries[0].LastN = 99 }},
+		{"negative clock", func(s *hotspotState) { s.Entries[0].LastN = -1 }},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			st := valid()
+			tc.mutate(&st)
+			raw, err := json.Marshal(st)
+			if err != nil {
+				t.Fatal(err)
+			}
+			h := NewHotspot(HotspotConfig{HalfLife: 64})
+			trainHotspot(h)
+			before, _ := h.ExportState()
+			if err := h.ImportState(raw); err == nil {
+				t.Fatal("bad state imported without error")
+			}
+			after, _ := h.ExportState()
+			if !bytes.Equal(before, after) {
+				t.Error("rejected import still mutated the table")
+			}
+		})
+	}
+
+	h := NewHotspot(HotspotConfig{})
+	if err := h.ImportState([]byte("{not json")); err == nil {
+		t.Error("malformed JSON imported without error")
+	}
+}

@@ -249,6 +249,20 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 			"gauge", allocSamples...)
 	}
 
+	if s.persist != nil {
+		st := s.persist.Status()
+		pw.gauge("forecache_snapshot_age_seconds",
+			"Age of the last successful learned-state snapshot; -1 before the first save.", st.AgeSeconds)
+		pw.gauge("forecache_snapshot_last_result",
+			"1 when the most recent snapshot save succeeded, 0 when it failed or none ran yet.",
+			boolValue(st.LastResult == "ok"))
+		pw.counter("forecache_snapshot_saves_total", "Successful learned-state snapshot writes.", float64(st.Saves))
+		pw.counter("forecache_snapshot_failures_total", "Failed learned-state snapshot writes.", float64(st.Failures))
+		pw.counter("forecache_snapshot_bytes_written_total", "Snapshot bytes written over the server's lifetime.", float64(st.BytesTotal))
+		pw.gauge("forecache_snapshot_restored_families",
+			"State families restored from the snapshot at startup (0 = cold start).", float64(st.Restored))
+	}
+
 	w.Header().Set("Content-Type", promContentType)
 	w.WriteHeader(http.StatusOK)
 	_, _ = fmt.Fprint(w, pw.b.String())

@@ -28,6 +28,7 @@ import (
 	"forecache/internal/cache"
 	"forecache/internal/core"
 	"forecache/internal/obs"
+	"forecache/internal/persist"
 	"forecache/internal/prefetch"
 	"forecache/internal/tile"
 )
@@ -94,6 +95,16 @@ func WithObs(p *obs.Pipeline) Option {
 	return func(s *Server) { s.obs = p }
 }
 
+// WithPersist attaches the deployment's snapshot store: Close writes one
+// final snapshot after the scheduler stops (so a graceful shutdown never
+// loses learned state to the interval ticker's timing), and the store's
+// status — restore results per family, snapshot age, last result, bytes
+// written — appears under /stats ("snapshot") and /metrics
+// (forecache_snapshot_*).
+func WithPersist(st *persist.Store) Option {
+	return func(s *Server) { s.persist = st }
+}
+
 // WithPprof mounts net/http/pprof's profiling handlers under
 // /debug/pprof/ (opt-in: profiling endpoints expose internals and cost
 // CPU, so they are off unless a deployment asks).
@@ -117,6 +128,7 @@ type Server struct {
 	mux         *http.ServeMux
 	sched       *prefetch.Scheduler
 	alloc       *core.AdaptivePolicy
+	persist     *persist.Store
 	metrics     bool
 	obs         *obs.Pipeline // nil => untraced
 	pprofOn     bool
@@ -181,14 +193,20 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.Serve
 // concurrently with in-flight requests: the session tables are torn down
 // under the server lock (later tile requests get ErrClosed / 503 and
 // /stats keeps answering with server-wide telemetry), every engine is
-// detached so pending deliveries are dropped, and finally the shared
-// scheduler, if any, is shut down after cancelling all queued prefetches.
+// detached so pending deliveries are dropped, the shared scheduler, if
+// any, is shut down after cancelling all queued prefetches, and finally
+// the snapshot store, if any, writes the deployment's learned state to
+// disk one last time — after the scheduler stops, so the snapshot sees
+// the last outcomes the worker pool delivered.
 func (s *Server) Close() {
 	s.mu.Lock()
 	if s.closed {
 		s.mu.Unlock()
 		if s.sched != nil {
 			s.sched.Close() // idempotent; lets double-Close still stop workers
+		}
+		if s.persist != nil {
+			s.persist.Close()
 		}
 		return
 	}
@@ -204,6 +222,9 @@ func (s *Server) Close() {
 	s.releaseSessions(closing)
 	if s.sched != nil {
 		s.sched.Close()
+	}
+	if s.persist != nil {
+		s.persist.Close()
 	}
 }
 
@@ -423,6 +444,10 @@ type StatsResponse struct {
 	// Allocation maps phase name -> model -> current smoothed budget share
 	// of the deployment's shared AdaptivePolicy.
 	Allocation map[string]map[string]float64 `json:"allocation,omitempty"`
+	// Snapshot reports the learned-state snapshot store: per-family restore
+	// results ("restored" vs "cold"), save counters and the age of the last
+	// snapshot. Absent when the deployment persists nothing.
+	Snapshot *persist.Status `json:"snapshot,omitempty"`
 	// Uptime is seconds since the server was constructed; with GoVersion
 	// and Build it lets fleet dashboards tell deployments (and deploys)
 	// apart.
@@ -489,6 +514,10 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		for ph, byModel := range shares {
 			out.Allocation[ph.String()] = byModel
 		}
+	}
+	if s.persist != nil {
+		st := s.persist.Status()
+		out.Snapshot = &st
 	}
 	writeJSON(w, http.StatusOK, out)
 }

@@ -168,6 +168,17 @@ func (p Phase) String() string {
 	return fmt.Sprintf("Phase(%d)", int(p))
 }
 
+// ParsePhase inverts Phase.String; snapshot restore uses it to key
+// persisted per-phase tables by name instead of by raw integer.
+func ParsePhase(s string) (Phase, error) {
+	for _, p := range []Phase{PhaseUnknown, Foraging, Navigation, Sensemaking} {
+		if p.String() == s {
+			return p, nil
+		}
+	}
+	return PhaseUnknown, fmt.Errorf("trace: unknown phase %q", s)
+}
+
 // Trace is one recorded user session: an ordered list of tile requests for
 // a single user completing a single task (paper §4.1's U_j).
 type Trace struct {
