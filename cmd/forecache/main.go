@@ -169,6 +169,7 @@ func cmdServe(args []string) error {
 	addr := fs.String("addr", ":8080", "listen address")
 	k := fs.Int("k", 5, "prefetch budget in tiles")
 	async := fs.Bool("async", true, "prefetch through the shared asynchronous scheduler")
+	shards := fs.Int("shards", 1, "independent serving-tier shards behind a consistent-hash router keyed on session id (session tables, sweeps and scheduler queues go per-shard; single-flight and learned state stay deployment-wide)")
 	workers := fs.Int("prefetch-workers", 4, "scheduler worker pool size (concurrent DBMS fetches)")
 	queue := fs.Int("prefetch-queue", 64, "queued prefetch entries per session")
 	globalQueue := fs.Int("global-queue", 1024, "queued prefetch entries across all sessions; lowest-utility entries are shed at saturation (negative = unlimited)")
@@ -206,6 +207,7 @@ func cmdServe(args []string) error {
 	srv, err := ds.NewServer(traces, forecache.MiddlewareConfig{
 		K:                  *k,
 		AsyncPrefetch:      *async,
+		Shards:             *shards,
 		PrefetchWorkers:    *workers,
 		PrefetchQueue:      *queue,
 		GlobalQueueBudget:  *globalQueue,
@@ -237,6 +239,9 @@ func cmdServe(args []string) error {
 	if *async {
 		mode = fmt.Sprintf("async prefetch: %d workers, queue %d/session, global budget %d, decay half-life %s, adaptive K %v, fair share %v, utility learning %v, adaptive allocation %v, hotspot %v",
 			*workers, *queue, *globalQueue, *decayHalfLife, *adaptiveK, *fairShare, *utilityLearning, *adaptiveAllocation, *hotspot)
+	}
+	if *shards > 1 {
+		mode += fmt.Sprintf("; %d shards", *shards)
 	}
 	endpoints := "GET /meta, /tile?level=&y=&x=, /stats"
 	if *metrics {

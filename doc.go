@@ -73,7 +73,16 @@
 //     the experiments stay deterministic. MetricsEndpoint exposes the
 //     whole loop — queue/shed/coalesce counters, global and per-session
 //     backpressure, aggregate cache hit rates, the learned curve — as
-//     dependency-free Prometheus text under GET /metrics;
+//     dependency-free Prometheus text under GET /metrics. At fleet scale
+//     the serving tier shards: MiddlewareConfig.Shards (serve -shards)
+//     splits the session table, TTL/LRU sweep and scheduler queues into
+//     N independent shards behind a consistent-hash router keyed on
+//     session id (internal/shard), each shard behind its own lock with
+//     its own worker pool, while single-flight fetch deduplication and
+//     all learned state stay deployment-wide and /stats + /metrics
+//     aggregate per-shard snapshots into exact, monotone totals (with
+//     per-shard series like forecache_shard_sessions{shard="0"});
+//     Shards=1, the default, is the unsharded deployment bit-for-bit;
 //   - the observability layer (internal/obs): with
 //     MiddlewareConfig.Tracing every /tile request is traced end to end
 //     (trace id echoed as X-Trace-ID, per-span breakdown across session

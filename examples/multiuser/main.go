@@ -36,7 +36,8 @@ func main() {
 	srv, err := ds.NewServer(traces, forecache.MiddlewareConfig{
 		K:                  5,
 		AsyncPrefetch:      true, // submit-and-return prefetching
-		PrefetchWorkers:    4,    // concurrent DBMS fetch budget
+		Shards:             2,    // independent serving-tier shards (consistent-hash on session id)
+		PrefetchWorkers:    4,    // concurrent DBMS fetch budget, divided across shards
 		GlobalQueueBudget:  globalQueueBudget,
 		DecayHalfLife:      2 * time.Second,  // stale queued predictions lose utility
 		AdaptiveK:          true,             // engines shrink K under backpressure
@@ -110,7 +111,10 @@ func main() {
 	for _, r := range results {
 		fmt.Println(r)
 	}
-	fmt.Printf("server tracked %d isolated sessions\n", srv.Sessions())
+	// With Shards > 1 each analyst's session lives on its consistent-hash
+	// home shard (own lock, own sweep, own scheduler queue); telemetry
+	// still aggregates deployment-wide.
+	fmt.Printf("server tracked %d isolated sessions across %d shards\n", srv.Sessions(), srv.NumShards())
 
 	// The shared scheduler worked off the response path the whole time:
 	// wait for the queue to drain, then read the pipeline telemetry (the

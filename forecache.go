@@ -51,6 +51,13 @@ type (
 	Server = server.Server
 	// Scheduler is the shared asynchronous prefetch pipeline.
 	Scheduler = prefetch.Scheduler
+	// ShardedScheduler is the prefetch pipeline fanned out over N
+	// independent scheduler shards behind a consistent-hash router
+	// (MiddlewareConfig.Shards > 1).
+	ShardedScheduler = prefetch.ShardedScheduler
+	// Pipeline is the scheduler surface the server consumes, satisfied by
+	// both Scheduler and ShardedScheduler (Server.Scheduler returns it).
+	Pipeline = prefetch.Pipeline
 	// PrefetchStats snapshots scheduler activity (queued, coalesced,
 	// cancelled, completed, queue latency, ...).
 	PrefetchStats = prefetch.Stats
@@ -180,8 +187,20 @@ type MiddlewareConfig struct {
 	// synchronous so the eval harness and paper experiments remain
 	// deterministic.
 	AsyncPrefetch bool
+	// Shards splits the serving tier into N independent shards behind a
+	// consistent-hash router keyed on session id: the server's session
+	// table, TTL/LRU sweep and retired-stats baseline become per-shard
+	// (one mutex each), and with AsyncPrefetch the scheduler fans out into
+	// per-shard worker pools and queues — while cross-session single-flight
+	// stays deployment-wide, so N shards wanting one tile still cost one
+	// DBMS fetch. Shared learned state (feedback, allocation, hotspot)
+	// also stays deployment-wide; /stats and /metrics aggregate across
+	// shards with monotone counters. Default 1, which is bit-for-bit the
+	// unsharded deployment. Only NewServer honors this.
+	Shards int
 	// PrefetchWorkers sizes the scheduler's worker pool (the concurrent
-	// DBMS fetch budget). Default 4.
+	// DBMS fetch budget); with Shards > 1 this is the deployment-wide
+	// budget, divided ceil(Workers/Shards) per shard. Default 4.
 	PrefetchWorkers int
 	// PrefetchQueue caps queued prefetch entries per session. Default 64.
 	PrefetchQueue int
@@ -331,6 +350,9 @@ func (c MiddlewareConfig) withDefaults() MiddlewareConfig {
 	}
 	if c.MaxClassifierRequests <= 0 {
 		c.MaxClassifierRequests = 800
+	}
+	if c.Shards <= 0 {
+		c.Shards = 1
 	}
 	if c.GlobalQueueBudget == 0 {
 		c.GlobalQueueBudget = 1024
@@ -533,9 +555,13 @@ func (d *Dataset) NewServer(train []*trace.Trace, cfg MiddlewareConfig) (*server
 	// The feedback collector exists whenever some loop consumes outcomes:
 	// UtilityLearning prices scheduler admission with it (async only),
 	// AdaptiveAllocation re-splits the budget with it (either mode).
-	var sched *prefetch.Scheduler
+	var sched prefetch.Pipeline
+	// submitterFor binds each session engine to its home scheduler shard
+	// once at construction (the routing hash is paid per session, not per
+	// request); with one shard every session binds to the same scheduler.
+	var submitterFor func(session string) core.Submitter
 	var fc *prefetch.FeedbackCollector
-	var opts []server.Option
+	opts := []server.Option{server.WithShards(cfg.Shards)}
 	if (cfg.UtilityLearning && cfg.AsyncPrefetch) || cfg.AdaptiveAllocation {
 		fc = prefetch.NewFeedbackCollector(cfg.K)
 	}
@@ -578,14 +604,23 @@ func (d *Dataset) NewServer(train []*trace.Trace, cfg MiddlewareConfig) (*server
 		if cfg.UtilityLearning {
 			util = fc
 		}
-		sched = prefetch.NewScheduler(store, prefetch.Config{
+		pcfg := prefetch.Config{
 			Workers:         cfg.PrefetchWorkers,
 			QueuePerSession: cfg.PrefetchQueue,
 			GlobalQueue:     cfg.GlobalQueueBudget,
 			DecayHalfLife:   cfg.DecayHalfLife,
 			Utility:         util,
 			Obs:             pipe,
-		})
+		}
+		if cfg.Shards > 1 {
+			ss := prefetch.NewShardedScheduler(store, pcfg, cfg.Shards)
+			sched = ss
+			submitterFor = func(session string) core.Submitter { return ss.Shard(session) }
+		} else {
+			sc := prefetch.NewScheduler(store, pcfg)
+			sched = sc
+			submitterFor = func(string) core.Submitter { return sc }
+		}
 		opts = append(opts, server.WithScheduler(sched))
 	}
 	if cfg.MetricsEndpoint {
@@ -642,7 +677,7 @@ func (d *Dataset) NewServer(train []*trace.Trace, cfg MiddlewareConfig) (*server
 	factory := func(session string) (*core.Engine, error) {
 		var engOpts []core.Option
 		if sched != nil {
-			engOpts = append(engOpts, core.WithScheduler(sched, session))
+			engOpts = append(engOpts, core.WithScheduler(submitterFor(session), session))
 			if cfg.AdaptiveK {
 				engOpts = append(engOpts, core.WithAdaptiveK())
 				if cfg.FairShare {

@@ -201,6 +201,79 @@ func TestAsyncServerFacade(t *testing.T) {
 	}
 }
 
+// TestShardedServerFacade proves the Shards knob wires the whole sharded
+// deployment: sessions route to consistent-hash shards, engines bind to
+// their home scheduler shard, the learned loops stay deployment-wide,
+// and /stats aggregates across shards.
+func TestShardedServerFacade(t *testing.T) {
+	ds, traces := testWorld(t)
+	srv, err := ds.NewServer(traces, MiddlewareConfig{
+		K: 5, AsyncPrefetch: true, Shards: 4, PrefetchWorkers: 4,
+		UtilityLearning: true, AdaptiveAllocation: true, Hotspot: true,
+		MetricsEndpoint: true, SharedTiles: 64,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+	if srv.NumShards() != 4 {
+		t.Fatalf("NumShards = %d, want 4", srv.NumShards())
+	}
+
+	walk := []Coord{{}, {Level: 1}, {Level: 2}}
+	const fleet = 12
+	for i := 0; i < fleet; i++ {
+		c := client.New(ts.URL, fmt.Sprintf("analyst-%d", i))
+		for _, coord := range walk {
+			if _, _, err := c.Tile(coord); err != nil {
+				t.Fatalf("analyst %d: %v", i, err)
+			}
+		}
+	}
+	sched, ok := srv.Scheduler().(*ShardedScheduler)
+	if !ok {
+		t.Fatalf("Scheduler() = %T, want *ShardedScheduler", srv.Scheduler())
+	}
+	sched.Drain()
+	st := sched.Stats()
+	if st.Shards != 4 {
+		t.Errorf("scheduler stats Shards = %d, want 4", st.Shards)
+	}
+	if st.Queued == 0 || st.Completed == 0 {
+		t.Errorf("sharded scheduler never ran: %+v", st)
+	}
+	// The fleet spread over more than one shard, on both tiers.
+	stats, err := client.New(ts.URL, "analyst-0").Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, ok := stats["shard_sessions"].([]any)
+	if !ok {
+		t.Fatalf("/stats shard_sessions missing: %v", stats)
+	}
+	nonzero, sum := 0, 0
+	for _, v := range raw {
+		n := int(v.(float64))
+		sum += n
+		if n > 0 {
+			nonzero++
+		}
+	}
+	if sum != fleet {
+		t.Errorf("shard_sessions sums to %d, want %d", sum, fleet)
+	}
+	if nonzero < 2 {
+		t.Errorf("%d sessions landed on %d shard(s), want spread over at least 2", fleet, nonzero)
+	}
+	// Learned state is deployment-wide: one utility curve fed by every
+	// shard's outcomes.
+	if st.UtilityObservations == 0 {
+		t.Error("deployment-wide feedback collector saw no outcomes from the sharded fleet")
+	}
+}
+
 // TestTracingServerFacade proves the Tracing/TraceBuffer/Pprof knobs wire
 // the observability pipeline end to end: traced tile responses carry
 // X-Trace-ID, /debug/traces serves the per-span breakdowns, /metrics

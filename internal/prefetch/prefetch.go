@@ -142,6 +142,14 @@ type Stats struct {
 	// Coalesced counts entries that shared another entry's DBMS fetch
 	// instead of issuing their own (single-flight).
 	Coalesced int
+	// CrossShardCoalesced counts worker fetches that joined another
+	// shard's in-flight DBMS fetch through the deployment-wide
+	// single-flight store (ShardedScheduler only; a lone Scheduler's own
+	// inflight map already coalesces everything it sees, so this stays 0).
+	CrossShardCoalesced int
+	// Shards is how many independent scheduler shards the counters were
+	// aggregated over (1 for a lone Scheduler).
+	Shards int
 	// Completed counts entries whose tile was fetched and delivered.
 	Completed int
 	// Errors counts entries whose fetch failed.

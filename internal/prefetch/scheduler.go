@@ -280,9 +280,18 @@ func (s *Scheduler) Close() {
 // Stats snapshots the scheduler counters. The snapshot is internally
 // consistent: every field is read under one hold of the scheduler lock.
 func (s *Scheduler) Stats() Stats {
+	st, _, _ := s.statsDetail()
+	return st
+}
+
+// statsDetail is Stats plus the raw queue-latency accumulators, so the
+// sharded aggregator can compute an exactly-weighted deployment-wide mean
+// instead of averaging per-shard averages.
+func (s *Scheduler) statsDetail() (Stats, time.Duration, int) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	st := s.stats
+	st.Shards = 1
 	st.Inflight = len(s.inflight)
 	st.Sessions = len(s.sessions)
 	st.Pressure = s.pressureLocked()
@@ -300,7 +309,7 @@ func (s *Scheduler) Stats() Stats {
 		st.UtilityCurve = s.cfg.Utility.Curve()
 		st.UtilityObservations = s.cfg.Utility.Observations()
 	}
-	return st
+	return st, s.queueLatency, s.measured
 }
 
 // addQueuedLocked adjusts a session's live-entry count, maintaining the

@@ -1,0 +1,276 @@
+package prefetch
+
+import (
+	"sync"
+	"time"
+
+	"forecache/internal/backend"
+	"forecache/internal/shard"
+	"forecache/internal/tile"
+)
+
+// This file is the horizontal scale-out of the prefetch pipeline: N
+// independent Schedulers — each with its own mutex, per-session queues,
+// worker pool and pressure signal — behind a consistent-hash router keyed
+// on session id. One process-wide scheduler lock is the serving tier's
+// submit-path choke point at fleet scale (every session's Submit, Cancel
+// and worker pop serializes on it); sharding multiplies the locks while
+// the consistent-hash ring keeps each session's whole scheduler life on
+// one shard, so per-session semantics (batch superseding, fair-share
+// pressure, queue budgets) are untouched.
+//
+// What must NOT shard is single-flight deduplication: two sessions on
+// different shards wanting the same tile should still cost one DBMS
+// fetch. Each shard's own inflight map coalesces within the shard exactly
+// as before; CoalescingStore adds the deployment-wide layer underneath,
+// joining concurrent FetchQuiet calls across shards on one backend round
+// trip.
+
+// Pipeline is the scheduler surface the serving tier consumes, satisfied
+// by both the single-lock *Scheduler and the consistent-hash
+// *ShardedScheduler. It is a superset of core.Submitter: the extra
+// methods (Stats, Drain, Close) are the server's operational hooks.
+type Pipeline interface {
+	Submit(session string, reqs []Request) int
+	CancelSession(session string)
+	Pressure() float64
+	SessionPressure(session string) float64
+	Stats() Stats
+	Drain()
+	Close()
+}
+
+var (
+	_ Pipeline = (*Scheduler)(nil)
+	_ Pipeline = (*ShardedScheduler)(nil)
+)
+
+// storeFlight is one in-flight FetchQuiet and everyone waiting on it.
+type storeFlight struct {
+	done chan struct{}
+	t    *tile.Tile
+	err  error
+}
+
+// CoalescingStore wraps a backend.Store with deployment-wide single-flight
+// on the prefetch path: concurrent FetchQuiet calls for one coordinate —
+// typically scheduler workers on different shards — share one underlying
+// fetch. The response path (Fetch) is not coalesced: it charges latency
+// per the paper's model and stays the engine's own concern. Safe for
+// concurrent use.
+type CoalescingStore struct {
+	backend.Store
+
+	mu       sync.Mutex
+	inflight map[tile.Coord]*storeFlight
+	joined   int
+}
+
+// NewCoalescingStore wraps store. A nil store is a programming error and
+// panics on first use, like handing the scheduler a nil store would.
+func NewCoalescingStore(store backend.Store) *CoalescingStore {
+	return &CoalescingStore{Store: store, inflight: make(map[tile.Coord]*storeFlight)}
+}
+
+// FetchQuiet fetches c, joining an identical in-flight fetch if one
+// exists instead of issuing a duplicate.
+func (cs *CoalescingStore) FetchQuiet(c tile.Coord) (*tile.Tile, error) {
+	cs.mu.Lock()
+	if fl, ok := cs.inflight[c]; ok {
+		cs.joined++
+		cs.mu.Unlock()
+		<-fl.done
+		return fl.t, fl.err
+	}
+	fl := &storeFlight{done: make(chan struct{})}
+	cs.inflight[c] = fl
+	cs.mu.Unlock()
+
+	fl.t, fl.err = cs.Store.FetchQuiet(c)
+
+	cs.mu.Lock()
+	delete(cs.inflight, c)
+	cs.mu.Unlock()
+	close(fl.done)
+	return fl.t, fl.err
+}
+
+// Joined reports how many fetches piggybacked on another's in-flight
+// round trip since construction.
+func (cs *CoalescingStore) Joined() int {
+	cs.mu.Lock()
+	defer cs.mu.Unlock()
+	return cs.joined
+}
+
+// ShardedScheduler fans the prefetch pipeline out over N independent
+// Schedulers behind a consistent-hash ring keyed on session id. Every
+// per-session operation routes to the session's home shard; Stats, Drain
+// and Close fan out over all of them. Construct with NewShardedScheduler.
+type ShardedScheduler struct {
+	ring   *shard.Ring
+	shards []*Scheduler
+	store  *CoalescingStore
+	budget int // per-shard GlobalQueue, for the aggregate pressure
+}
+
+// NewShardedScheduler starts n scheduler shards over store. The
+// deployment-wide sizing in cfg is divided across shards: each shard gets
+// ceil(Workers/n) workers and ceil(GlobalQueue/n) global-queue slots, so
+// the fleet's total fetch concurrency and queue budget match what a
+// single scheduler with the same cfg would run (QueuePerSession is
+// per-session and passes through unchanged). The store is wrapped in one
+// shared CoalescingStore so cross-shard duplicates still cost one DBMS
+// fetch. Shared learning state (cfg.Utility, cfg.Obs) is deployment-wide
+// by construction: every shard feeds the same collector and pipeline.
+// Call Close to stop all worker pools.
+func NewShardedScheduler(store backend.Store, cfg Config, n int) *ShardedScheduler {
+	if n < 1 {
+		n = 1
+	}
+	cfg = cfg.withDefaults()
+	per := cfg
+	per.Workers = (cfg.Workers + n - 1) / n
+	if cfg.GlobalQueue > 0 {
+		per.GlobalQueue = (cfg.GlobalQueue + n - 1) / n
+	}
+	ss := &ShardedScheduler{
+		ring:   shard.NewRing(n),
+		shards: make([]*Scheduler, n),
+		store:  NewCoalescingStore(store),
+		budget: per.GlobalQueue,
+	}
+	for i := range ss.shards {
+		ss.shards[i] = NewScheduler(ss.store, per)
+	}
+	return ss
+}
+
+// NumShards returns the shard count.
+func (ss *ShardedScheduler) NumShards() int { return len(ss.shards) }
+
+// Shard returns the scheduler owning session. Engines are bound to their
+// session's shard at construction (core.WithScheduler), so the routing
+// hash is paid once per session, not once per request.
+func (ss *ShardedScheduler) Shard(session string) *Scheduler {
+	return ss.shards[ss.ring.Locate(session)]
+}
+
+// Submit routes the batch to the session's shard.
+func (ss *ShardedScheduler) Submit(session string, reqs []Request) int {
+	return ss.Shard(session).Submit(session, reqs)
+}
+
+// CancelSession drops the session's queued entries on its shard.
+func (ss *ShardedScheduler) CancelSession(session string) {
+	ss.Shard(session).CancelSession(session)
+}
+
+// Pressure reports the deployment-wide queue saturation: total pending
+// entries over the total global budget. One slammed shard next to idle
+// ones therefore reads as partial pressure — the per-shard signal engines
+// actually shrink on comes from their own shard's Pressure.
+func (ss *ShardedScheduler) Pressure() float64 {
+	if ss.budget <= 0 {
+		return 0
+	}
+	pending := 0
+	for _, sh := range ss.shards {
+		st := sh.Stats()
+		pending += st.Pending
+	}
+	p := float64(pending) / float64(ss.budget*len(ss.shards))
+	if p > 1 {
+		p = 1
+	}
+	return p
+}
+
+// SessionPressure reports the fair-share backpressure signal from the
+// session's home shard (fairness is scoped to the sessions actually
+// contending on that shard's queue).
+func (ss *ShardedScheduler) SessionPressure(session string) float64 {
+	return ss.Shard(session).SessionPressure(session)
+}
+
+// Stats aggregates the per-shard snapshots into one deployment-wide view.
+// Counters are sums of per-shard counters: each shard's are monotone and
+// the shard set is fixed for the scheduler's lifetime, so the sums are
+// monotone too. Session-keyed maps merge disjointly (a session lives on
+// exactly one shard). AvgQueueLatency is weighted by each shard's
+// measured entry count, PeakPending is the sum of per-shard peaks (an
+// upper bound on the true simultaneous peak), and Pressure is the
+// deployment-wide saturation.
+func (ss *ShardedScheduler) Stats() Stats {
+	var agg Stats
+	agg.Shards = len(ss.shards)
+	agg.QueueDepths = make(map[string]int)
+	agg.SessionPressures = make(map[string]float64)
+	var latency time.Duration
+	measured := 0
+	for _, sh := range ss.shards {
+		st, lat, n := sh.statsDetail()
+		agg.Queued += st.Queued
+		agg.Dropped += st.Dropped
+		agg.Shed += st.Shed
+		agg.Cancelled += st.Cancelled
+		agg.Coalesced += st.Coalesced
+		agg.Completed += st.Completed
+		agg.Errors += st.Errors
+		agg.Pending += st.Pending
+		agg.PeakPending += st.PeakPending
+		agg.Inflight += st.Inflight
+		agg.Sessions += st.Sessions
+		for id, d := range st.QueueDepths {
+			agg.QueueDepths[id] = d
+		}
+		for id, p := range st.SessionPressures {
+			agg.SessionPressures[id] = p
+		}
+		latency += lat
+		measured += n
+		// The utility collector is shared: every shard reports the same
+		// curve, so the first shard's copy is the deployment's.
+		if agg.UtilityCurve == nil {
+			agg.UtilityCurve = st.UtilityCurve
+			agg.UtilityObservations = st.UtilityObservations
+		}
+	}
+	if measured > 0 {
+		agg.AvgQueueLatency = latency / time.Duration(measured)
+	}
+	if ss.budget > 0 {
+		p := float64(agg.Pending) / float64(ss.budget*len(ss.shards))
+		if p > 1 {
+			p = 1
+		}
+		agg.Pressure = p
+	}
+	agg.CrossShardCoalesced = ss.store.Joined()
+	return agg
+}
+
+// ShardStats snapshots every shard individually (index = shard id), for
+// per-shard observability series.
+func (ss *ShardedScheduler) ShardStats() []Stats {
+	out := make([]Stats, len(ss.shards))
+	for i, sh := range ss.shards {
+		out[i] = sh.Stats()
+	}
+	return out
+}
+
+// Drain blocks until every shard's queue and inflight set are empty and
+// all deliveries have run.
+func (ss *ShardedScheduler) Drain() {
+	for _, sh := range ss.shards {
+		sh.Drain()
+	}
+}
+
+// Close stops every shard's worker pool. Idempotent.
+func (ss *ShardedScheduler) Close() {
+	for _, sh := range ss.shards {
+		sh.Close()
+	}
+}

@@ -7,8 +7,10 @@ import (
 	"strconv"
 	"strings"
 
+	"forecache/internal/cache"
 	"forecache/internal/core"
 	"forecache/internal/obs"
+	"forecache/internal/prefetch"
 )
 
 // This file implements the dependency-free Prometheus text-format
@@ -117,21 +119,33 @@ func (w *promWriter) histBucket(name string, base map[string]string, le string, 
 	fmt.Fprintf(&w.b, "%s_bucket%s %d\n", name, labels(kv), count)
 }
 
-// handleMetrics renders the exposition payload. Server-side fields are
-// snapshotted under one hold of the server lock, engine cache stats are
-// read outside it (each engine locks only its own cache), and the
-// scheduler contributes its internally-consistent Stats snapshot.
+// handleMetrics renders the exposition payload. Per-shard fields are each
+// snapshotted under one hold of that shard's lock and the totals are
+// computed from the same snapshots (so forecache_sessions always equals
+// the sum of the forecache_shard_sessions series in one scrape), engine
+// cache stats are read outside the shard locks (each engine locks only
+// its own cache), and the scheduler contributes its internally-consistent
+// Stats snapshot.
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
-	s.mu.Lock()
-	sessions := len(s.sessions)
-	evicted := s.evicted
-	closed := s.closed
-	agg := s.retired // departed sessions' totals: keeps the counters monotone
-	engines := make([]*core.Engine, 0, len(s.sessions))
-	for _, sess := range s.sessions {
-		engines = append(engines, sess.eng)
+	var (
+		sessions, evicted int
+		agg               cache.Stats // departed sessions' totals keep the counters monotone
+		engines           []*core.Engine
+	)
+	shardSessions := make([]int, len(s.shards))
+	shardEvicted := make([]int, len(s.shards))
+	for i, sh := range s.shards {
+		n, ev, retired, engs := sh.snapshot()
+		shardSessions[i], shardEvicted[i] = n, ev
+		sessions += n
+		evicted += ev
+		agg.Hits += retired.Hits
+		agg.Misses += retired.Misses
+		agg.Prefetched += retired.Prefetched
+		agg.Evicted += retired.Evicted
+		engines = append(engines, engs...)
 	}
-	s.mu.Unlock()
+	closed := s.closed.Load()
 
 	for _, eng := range engines {
 		cs := eng.CacheStats()
@@ -145,6 +159,16 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	pw.gauge("forecache_sessions", "Live sessions with engine state.", float64(sessions))
 	pw.counter("forecache_sessions_evicted_total", "Sessions evicted by the TTL or LRU cap.", float64(evicted))
 	pw.gauge("forecache_server_closed", "1 after Close, 0 while serving.", boolValue(closed))
+	pw.gauge("forecache_shards", "Session-tier shards behind the consistent-hash router.", float64(len(s.shards)))
+	shardSess := make([]sample, len(s.shards))
+	shardEv := make([]sample, len(s.shards))
+	for i := range s.shards {
+		l := labels(map[string]string{"shard": strconv.Itoa(i)})
+		shardSess[i] = sample{labels: l, value: float64(shardSessions[i])}
+		shardEv[i] = sample{labels: l, value: float64(shardEvicted[i])}
+	}
+	pw.family("forecache_shard_sessions", "Live sessions per session-tier shard; sums to forecache_sessions within one scrape.", "gauge", shardSess...)
+	pw.family("forecache_shard_sessions_evicted_total", "Sessions evicted per session-tier shard (TTL or LRU cap).", "counter", shardEv...)
 
 	pw.counter("forecache_cache_hits_total", "Tile requests served from a middleware cache, summed over all sessions ever (live and retired).", float64(agg.Hits))
 	pw.counter("forecache_cache_misses_total", "Tile requests that fell through to the DBMS, summed over all sessions ever.", float64(agg.Misses))
@@ -181,6 +205,30 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		}
 		pw.family("forecache_prefetch_session_queue_depth", "Live queued entries per session.", "gauge", depthSamples...)
 		pw.family("forecache_prefetch_session_pressure", "Per-session fair-share backpressure in [0,1]; FairShare engines shrink on it.", "gauge", pressureSamples...)
+
+		// A sharded pipeline additionally exposes per-shard series: the
+		// deployment totals above are the sums of these within one scrape
+		// (both come from the same kind of per-shard snapshots).
+		if sharded, ok := s.sched.(interface{ ShardStats() []prefetch.Stats }); ok {
+			per := sharded.ShardStats()
+			pw.counter("forecache_prefetch_cross_shard_coalesced_total",
+				"Worker fetches that joined another shard's in-flight DBMS fetch (deployment-wide single-flight).", float64(st.CrossShardCoalesced))
+			queuedS := make([]sample, len(per))
+			completedS := make([]sample, len(per))
+			pendingS := make([]sample, len(per))
+			pressureS := make([]sample, len(per))
+			for i, shst := range per {
+				l := labels(map[string]string{"shard": strconv.Itoa(i)})
+				queuedS[i] = sample{labels: l, value: float64(shst.Queued)}
+				completedS[i] = sample{labels: l, value: float64(shst.Completed)}
+				pendingS[i] = sample{labels: l, value: float64(shst.Pending)}
+				pressureS[i] = sample{labels: l, value: shst.Pressure}
+			}
+			pw.family("forecache_prefetch_shard_queued_total", "Prefetch entries accepted per scheduler shard.", "counter", queuedS...)
+			pw.family("forecache_prefetch_shard_completed_total", "Entries fetched and delivered per scheduler shard.", "counter", completedS...)
+			pw.family("forecache_prefetch_shard_pending", "Entries queued right now per scheduler shard.", "gauge", pendingS...)
+			pw.family("forecache_prefetch_shard_pressure", "Queue saturation per scheduler shard in [0,1].", "gauge", pressureS...)
+		}
 
 		if st.UtilityCurve != nil {
 			curveSamples := make([]sample, len(st.UtilityCurve))

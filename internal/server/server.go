@@ -1,13 +1,24 @@
 // Package server exposes the ForeCache middleware over HTTP: the tile API
 // the client-side visualizer talks to (Figure 5's front-end boundary).
 // Each browser session gets its own prediction engine, history and cache,
-// keyed by a session identifier. Session state is bounded: an LRU cap and
-// an idle TTL evict stale sessions so long-running deployments don't leak
-// one engine per session id forever. When the deployment routes prefetching
-// through a shared prefetch.Scheduler, the server surfaces its stats and
-// cancels an evicted session's queued fetches; WithMetrics additionally
-// exposes the full scheduling loop (counters, per-session backpressure,
-// cache hit rates, the learned utility curve) as Prometheus text under
+// keyed by a session identifier.
+//
+// The session tier is sharded: session state (the engine table, the
+// LRU/TTL recency list, the retired-stats baseline) lives in N
+// independent shards, each behind its own mutex, and a consistent-hash
+// ring keyed on session id routes every request to its session's home
+// shard. The Server itself is a thin router — it owns only the immutable
+// config, the mux and the ring — so one shard's TTL sweep or table scan
+// never blocks requests routed to another shard. The default is one
+// shard, which behaves exactly like the pre-sharding single-table server.
+//
+// Session state is bounded: an LRU cap and an idle TTL evict stale
+// sessions so long-running deployments don't leak one engine per session
+// id forever. When the deployment routes prefetching through a shared
+// prefetch pipeline, the server surfaces its stats and cancels an evicted
+// session's queued fetches; WithMetrics additionally exposes the full
+// scheduling loop (counters, per-session backpressure, cache hit rates,
+// the learned utility curve, per-shard series) as Prometheus text under
 // GET /metrics.
 package server
 
@@ -23,6 +34,7 @@ import (
 	"runtime/debug"
 	"strconv"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"forecache/internal/cache"
@@ -30,6 +42,7 @@ import (
 	"forecache/internal/obs"
 	"forecache/internal/persist"
 	"forecache/internal/prefetch"
+	"forecache/internal/shard"
 	"forecache/internal/tile"
 )
 
@@ -51,29 +64,44 @@ type EngineFactory func(session string) (*core.Engine, error)
 // Option customizes a Server.
 type Option func(*Server)
 
-// WithSessionLimit caps live sessions at n; the least recently used session
-// is evicted when a new one would exceed the cap. n <= 0 means unlimited.
+// WithShards splits the session tier into n independent shards behind a
+// consistent-hash router keyed on session id: each shard owns its own
+// session table, recency list, TTL sweep and retired-stats baseline under
+// its own mutex, so session churn in one shard never contends with
+// requests routed to another. n <= 1 keeps the single-shard layout, which
+// behaves identically to the pre-sharding server.
+func WithShards(n int) Option {
+	return func(s *Server) { s.nshards = n }
+}
+
+// WithSessionLimit caps live sessions at n across the whole server; with
+// multiple shards each shard caps at ceil(n / shards), so the fleet total
+// never exceeds n by more than the rounding slack. The least recently
+// used session of the arriving session's shard is evicted when the shard
+// would exceed its cap. n <= 0 means unlimited.
 func WithSessionLimit(n int) Option {
 	return func(s *Server) { s.maxSessions = n }
 }
 
 // WithSessionTTL evicts sessions idle for longer than ttl (checked lazily
-// on access). ttl <= 0 disables expiry.
+// on access, per shard). ttl <= 0 disables expiry.
 func WithSessionTTL(ttl time.Duration) Option {
 	return func(s *Server) { s.ttl = ttl }
 }
 
-// WithScheduler attaches the deployment's shared prefetch scheduler: its
-// stats appear under /stats, evicted sessions' queued fetches are
-// cancelled, and Close shuts it down.
-func WithScheduler(sched *prefetch.Scheduler) Option {
+// WithScheduler attaches the deployment's shared prefetch pipeline — the
+// single-lock *prefetch.Scheduler or the consistent-hash
+// *prefetch.ShardedScheduler: its stats appear under /stats, evicted
+// sessions' queued fetches are cancelled, and Close shuts it down.
+func WithScheduler(sched prefetch.Pipeline) Option {
 	return func(s *Server) { s.sched = sched }
 }
 
 // WithMetrics registers a dependency-free Prometheus text-format GET
 // /metrics endpoint exposing server, cache and prefetch-pipeline telemetry
-// (including per-session backpressure, the learned utility curve and the
-// adaptive allocation shares when the deployment has them).
+// (including per-session backpressure, per-shard session and scheduler
+// series, the learned utility curve and the adaptive allocation shares
+// when the deployment has them).
 func WithMetrics() Option {
 	return func(s *Server) { s.metrics = true }
 }
@@ -120,22 +148,13 @@ type session struct {
 	lastSeen time.Time
 }
 
-// Server is the HTTP middleware front door. Create with New, then mount
-// via Handler (it implements http.Handler).
-type Server struct {
-	meta        Meta
-	factory     EngineFactory
-	mux         *http.ServeMux
-	sched       *prefetch.Scheduler
-	alloc       *core.AdaptivePolicy
-	persist     *persist.Store
-	metrics     bool
-	obs         *obs.Pipeline // nil => untraced
-	pprofOn     bool
-	maxSessions int
-	ttl         time.Duration
-	now         func() time.Time // test hook
-	start       time.Time        // construction time, for /stats uptime
+// sessionShard is one independent slice of the session tier: a session
+// table, its recency list and the eviction/retired-stats bookkeeping, all
+// behind one shard-local mutex. Every mutable per-session field the
+// pre-sharding Server kept under its single lock lives here now; the
+// Server above it holds only immutable routing state.
+type sessionShard struct {
+	srv *Server // immutable config back-pointer (ttl, caps, clock, sched)
 
 	mu       sync.Mutex
 	sessions map[string]*session
@@ -149,18 +168,52 @@ type Server struct {
 	closed  bool
 }
 
+// Server is the HTTP middleware front door: a thin consistent-hash router
+// over N session shards. Create with New, then mount via Handler (it
+// implements http.Handler). All mutable session state lives in the
+// shards; the Server owns only the mux, the ring and immutable config.
+type Server struct {
+	meta        Meta
+	factory     EngineFactory
+	mux         *http.ServeMux
+	sched       prefetch.Pipeline
+	alloc       *core.AdaptivePolicy
+	persist     *persist.Store
+	metrics     bool
+	obs         *obs.Pipeline // nil => untraced
+	pprofOn     bool
+	maxSessions int
+	ttl         time.Duration
+	now         func() time.Time // test hook
+	start       time.Time        // construction time, for /stats uptime
+	nshards     int
+	perShardCap int // ceil(maxSessions / nshards); 0 = unlimited
+	ring        *shard.Ring
+	shards      []*sessionShard
+	closed      atomic.Bool
+}
+
 // New builds a server for a pyramid-backed middleware.
 func New(meta Meta, factory EngineFactory, opts ...Option) *Server {
 	s := &Server{
-		meta:     meta,
-		factory:  factory,
-		mux:      http.NewServeMux(),
-		now:      time.Now,
-		sessions: make(map[string]*session),
-		recency:  list.New(),
+		meta:    meta,
+		factory: factory,
+		mux:     http.NewServeMux(),
+		now:     time.Now,
 	}
 	for _, opt := range opts {
 		opt(s)
+	}
+	if s.nshards < 1 {
+		s.nshards = 1
+	}
+	if s.maxSessions > 0 {
+		s.perShardCap = (s.maxSessions + s.nshards - 1) / s.nshards
+	}
+	s.ring = shard.NewRing(s.nshards)
+	s.shards = make([]*sessionShard, s.nshards)
+	for i := range s.shards {
+		s.shards[i] = &sessionShard{srv: s, sessions: make(map[string]*session), recency: list.New()}
 	}
 	s.start = s.now()
 	s.mux.HandleFunc("GET /meta", s.handleMeta)
@@ -189,19 +242,23 @@ func New(meta Meta, factory EngineFactory, opts ...Option) *Server {
 // ServeHTTP implements http.Handler.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
 
+// shardFor returns the session id's home shard.
+func (s *Server) shardFor(id string) *sessionShard { return s.shards[s.ring.Locate(id)] }
+
+// NumShards returns how many session shards the router fans out over.
+func (s *Server) NumShards() int { return s.nshards }
+
 // Close releases server resources. It is idempotent and safe to call
-// concurrently with in-flight requests: the session tables are torn down
-// under the server lock (later tile requests get ErrClosed / 503 and
-// /stats keeps answering with server-wide telemetry), every engine is
-// detached so pending deliveries are dropped, the shared scheduler, if
-// any, is shut down after cancelling all queued prefetches, and finally
-// the snapshot store, if any, writes the deployment's learned state to
-// disk one last time — after the scheduler stops, so the snapshot sees
-// the last outcomes the worker pool delivered.
+// concurrently with in-flight requests: each shard's session table is
+// torn down under that shard's lock (later tile requests get ErrClosed /
+// 503 and /stats keeps answering with server-wide telemetry), every
+// engine is detached so pending deliveries are dropped, the shared
+// scheduler, if any, is shut down after cancelling all queued prefetches,
+// and finally the snapshot store, if any, writes the deployment's learned
+// state to disk one last time — after the scheduler stops, so the
+// snapshot sees the last outcomes the worker pool delivered.
 func (s *Server) Close() {
-	s.mu.Lock()
-	if s.closed {
-		s.mu.Unlock()
+	if s.closed.Swap(true) {
 		if s.sched != nil {
 			s.sched.Close() // idempotent; lets double-Close still stop workers
 		}
@@ -210,16 +267,19 @@ func (s *Server) Close() {
 		}
 		return
 	}
-	s.closed = true
-	closing := make([]*session, 0, len(s.sessions))
-	for _, sess := range s.sessions {
-		closing = append(closing, sess)
-		s.retireStatsLocked(sess)
+	for _, sh := range s.shards {
+		sh.mu.Lock()
+		sh.closed = true
+		closing := make([]*session, 0, len(sh.sessions))
+		for _, sess := range sh.sessions {
+			closing = append(closing, sess)
+			sh.retireStatsLocked(sess)
+		}
+		sh.sessions = make(map[string]*session)
+		sh.recency.Init()
+		sh.mu.Unlock()
+		s.releaseSessions(closing)
 	}
-	s.sessions = make(map[string]*session)
-	s.recency.Init()
-	s.mu.Unlock()
-	s.releaseSessions(closing)
 	if s.sched != nil {
 		s.sched.Close()
 	}
@@ -238,59 +298,62 @@ func sessionID(r *http.Request) string {
 
 // session returns (creating on demand) the engine for the request's
 // session id; the id defaults to "default" so single-user tools need no
-// bookkeeping. Expired and over-cap sessions are evicted here, on access.
+// bookkeeping. Expired and over-cap sessions of the id's home shard are
+// evicted here, on access — a sweep only ever holds its own shard's lock,
+// so it cannot stall requests routed to other shards.
 func (s *Server) session(r *http.Request) (*core.Engine, error) {
 	id := sessionID(r)
-	s.mu.Lock()
-	if s.closed {
-		s.mu.Unlock()
+	sh := s.shardFor(id)
+	sh.mu.Lock()
+	if sh.closed {
+		sh.mu.Unlock()
 		return nil, ErrClosed
 	}
 	now := s.now()
-	evicted := s.sweepLocked(now)
-	if sess, ok := s.sessions[id]; ok {
+	evicted := sh.sweepLocked(now)
+	if sess, ok := sh.sessions[id]; ok {
 		sess.lastSeen = now
-		s.recency.MoveToFront(sess.el)
-		s.mu.Unlock()
+		sh.recency.MoveToFront(sess.el)
+		sh.mu.Unlock()
 		s.releaseSessions(evicted)
 		return sess.eng, nil
 	}
-	s.mu.Unlock()
+	sh.mu.Unlock()
 	s.releaseSessions(evicted)
 
 	// Build the engine outside the lock: assembling one can mean training
 	// models, and stalling every other session on it would serialize the
-	// server.
+	// shard.
 	eng, err := s.factory(id)
 	if err != nil {
 		return nil, err
 	}
 
-	s.mu.Lock()
-	if s.closed {
+	sh.mu.Lock()
+	if sh.closed {
 		// Close won the race while the engine was being built: discard it
 		// before it can register with the (stopping) scheduler.
-		s.mu.Unlock()
+		sh.mu.Unlock()
 		eng.DetachScheduler()
 		return nil, ErrClosed
 	}
-	if sess, ok := s.sessions[id]; ok {
+	if sess, ok := sh.sessions[id]; ok {
 		// A concurrent request created this session first; use its engine
 		// and discard ours (it never submitted anything to the scheduler).
 		sess.lastSeen = s.now()
-		s.recency.MoveToFront(sess.el)
-		s.mu.Unlock()
+		sh.recency.MoveToFront(sess.el)
+		sh.mu.Unlock()
 		eng.DetachScheduler()
 		return sess.eng, nil
 	}
 	sess := &session{id: id, eng: eng, lastSeen: s.now()}
-	sess.el = s.recency.PushFront(sess)
-	s.sessions[id] = sess
+	sess.el = sh.recency.PushFront(sess)
+	sh.sessions[id] = sess
 	evicted = nil
-	for s.maxSessions > 0 && len(s.sessions) > s.maxSessions {
-		evicted = append(evicted, s.evictLocked(s.recency.Back().Value.(*session)))
+	for s.perShardCap > 0 && len(sh.sessions) > s.perShardCap {
+		evicted = append(evicted, sh.evictLocked(sh.recency.Back().Value.(*session)))
 	}
-	s.mu.Unlock()
+	sh.mu.Unlock()
 	s.releaseSessions(evicted)
 	return eng, nil
 }
@@ -300,57 +363,83 @@ func (s *Server) session(r *http.Request) (*core.Engine, error) {
 // a factory run, and at the session cap must not evict a live analyst's
 // session, just because a probe named an unknown id.
 func (s *Server) peekSession(r *http.Request) (*core.Engine, bool) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	sess, ok := s.sessions[sessionID(r)]
+	sh := s.shardFor(sessionID(r))
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	sess, ok := sh.sessions[sessionID(r)]
 	if !ok {
 		return nil, false
 	}
 	return sess.eng, true
 }
 
-// sweepLocked removes every session idle past the TTL from the tables and
-// returns them for release.
-func (s *Server) sweepLocked(now time.Time) []*session {
-	if s.ttl <= 0 {
+// hasSession reports whether id currently has a live engine (test hook).
+func (s *Server) hasSession(id string) bool {
+	sh := s.shardFor(id)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	_, ok := sh.sessions[id]
+	return ok
+}
+
+// sweepLocked removes every session idle past the TTL from this shard's
+// tables and returns them for release. It scans only this shard, under
+// this shard's lock: a sweep here cannot block another shard's requests.
+func (sh *sessionShard) sweepLocked(now time.Time) []*session {
+	if sh.srv.ttl <= 0 {
 		return nil
 	}
 	var evicted []*session
-	for s.recency.Len() > 0 {
-		oldest := s.recency.Back().Value.(*session)
-		if now.Sub(oldest.lastSeen) <= s.ttl {
+	for sh.recency.Len() > 0 {
+		oldest := sh.recency.Back().Value.(*session)
+		if now.Sub(oldest.lastSeen) <= sh.srv.ttl {
 			break
 		}
-		evicted = append(evicted, s.evictLocked(oldest))
+		evicted = append(evicted, sh.evictLocked(oldest))
 	}
 	return evicted
 }
 
-// evictLocked unlinks a session from the server tables. The scheduler
-// cleanup happens in releaseSessions, outside s.mu: detaching waits out any
-// in-flight request on the session's engine, which must not stall the
-// whole server.
-func (s *Server) evictLocked(sess *session) *session {
-	s.recency.Remove(sess.el)
-	delete(s.sessions, sess.id)
-	s.evicted++
-	s.retireStatsLocked(sess)
+// evictLocked unlinks a session from the shard tables. The scheduler
+// cleanup happens in releaseSessions, outside the shard lock: detaching
+// waits out any in-flight request on the session's engine, which must not
+// stall the shard.
+func (sh *sessionShard) evictLocked(sess *session) *session {
+	sh.recency.Remove(sess.el)
+	delete(sh.sessions, sess.id)
+	sh.evicted++
+	sh.retireStatsLocked(sess)
 	return sess
 }
 
 // retireStatsLocked folds a departing session's cache counters into the
-// server's lifetime totals. Reading the engine's cache stats under the
-// server lock is safe: the cache mutex is a leaf lock, never held while
-// acquiring s.mu.
-func (s *Server) retireStatsLocked(sess *session) {
+// shard's lifetime totals. Reading the engine's cache stats under the
+// shard lock is safe: the cache mutex is a leaf lock, never held while
+// acquiring a shard's mu.
+func (sh *sessionShard) retireStatsLocked(sess *session) {
 	cs := sess.eng.CacheStats()
-	s.retired.Hits += cs.Hits
-	s.retired.Misses += cs.Misses
-	s.retired.Prefetched += cs.Prefetched
-	s.retired.Evicted += cs.Evicted
+	sh.retired.Hits += cs.Hits
+	sh.retired.Misses += cs.Misses
+	sh.retired.Prefetched += cs.Prefetched
+	sh.retired.Evicted += cs.Evicted
 }
 
-// releaseSessions finishes evictions outside the server lock: the engine is
+// snapshotLocked reads one shard's aggregation inputs under its lock:
+// session count, eviction count, the retired baseline and the live
+// engines. /stats and /metrics sum these per-shard snapshots, so the
+// totals they report always equal the sum of the per-shard series taken
+// in the same pass.
+func (sh *sessionShard) snapshot() (sessions, evicted int, retired cache.Stats, engines []*core.Engine) {
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	engines = make([]*core.Engine, 0, len(sh.sessions))
+	for _, sess := range sh.sessions {
+		engines = append(engines, sess.eng)
+	}
+	return len(sh.sessions), sh.evicted, sh.retired, engines
+}
+
+// releaseSessions finishes evictions outside the shard lock: the engine is
 // detached first (so a request running right now cannot re-register the
 // session with the scheduler after the cancel), then the session's queued
 // prefetches are dropped.
@@ -364,23 +453,32 @@ func (s *Server) releaseSessions(evicted []*session) {
 	}
 }
 
-// Sessions returns the number of live sessions.
+// Sessions returns the number of live sessions across all shards.
 func (s *Server) Sessions() int {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return len(s.sessions)
+	total := 0
+	for _, sh := range s.shards {
+		sh.mu.Lock()
+		total += len(sh.sessions)
+		sh.mu.Unlock()
+	}
+	return total
 }
 
-// Evicted returns how many sessions have been evicted (TTL or LRU cap).
+// Evicted returns how many sessions have been evicted (TTL or LRU cap)
+// across all shards.
 func (s *Server) Evicted() int {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.evicted
+	total := 0
+	for _, sh := range s.shards {
+		sh.mu.Lock()
+		total += sh.evicted
+		sh.mu.Unlock()
+	}
+	return total
 }
 
-// Scheduler returns the attached shared prefetch scheduler (nil when the
+// Scheduler returns the attached shared prefetch pipeline (nil when the
 // deployment prefetches inline).
-func (s *Server) Scheduler() *prefetch.Scheduler { return s.sched }
+func (s *Server) Scheduler() prefetch.Pipeline { return s.sched }
 
 func (s *Server) handleMeta(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, s.meta)
@@ -430,17 +528,22 @@ func (s *Server) handleTile(w http.ResponseWriter, r *http.Request) {
 // StatsResponse is the /stats payload: the session's cache counters (when
 // the session exists) plus server-wide session and prefetch-pipeline
 // telemetry — including the scheduler's backpressure signal, per-session
-// queue depths (Scheduler.QueueDepths) and, for deployments with adaptive
-// allocation, the learned per-(phase, model) budget shares. Asking for an
-// unknown session returns the server-wide fields only — it does not create
-// a session.
+// queue depths (Scheduler.QueueDepths), the per-shard session spread and,
+// for deployments with adaptive allocation, the learned per-(phase,
+// model) budget shares. Asking for an unknown session returns the
+// server-wide fields only — it does not create a session.
 type StatsResponse struct {
-	Cache     *cache.Stats    `json:"cache,omitempty"`
-	Sessions  int             `json:"sessions"`
-	Evicted   int             `json:"evicted"`
-	Closed    bool            `json:"closed,omitempty"`
-	Pressure  float64         `json:"pressure"`
-	Scheduler *prefetch.Stats `json:"scheduler,omitempty"`
+	Cache    *cache.Stats `json:"cache,omitempty"`
+	Sessions int          `json:"sessions"`
+	Evicted  int          `json:"evicted"`
+	Closed   bool         `json:"closed,omitempty"`
+	// Shards is the session-tier shard count (1 = the single-table
+	// layout); ShardSessions is the live-session count per shard, in
+	// shard-id order, summing exactly to Sessions within this snapshot.
+	Shards        int             `json:"shards"`
+	ShardSessions []int           `json:"shard_sessions"`
+	Pressure      float64         `json:"pressure"`
+	Scheduler     *prefetch.Stats `json:"scheduler,omitempty"`
 	// Allocation maps phase name -> model -> current smoothed budget share
 	// of the deployment's shared AdaptivePolicy.
 	Allocation map[string]map[string]float64 `json:"allocation,omitempty"`
@@ -480,26 +583,26 @@ var buildInfoMap = sync.OnceValue(func() map[string]string {
 })
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
-	// Snapshot the server-side fields under one hold of the server lock
-	// (reading them via Sessions()/Evicted() would let a concurrent Close
-	// or eviction slip between the reads), then the scheduler counters
-	// under one hold of the scheduler lock. /stats stays answerable during
+	// Aggregate the per-shard snapshots — each taken under one hold of its
+	// shard's lock — then the scheduler counters under the pipeline's own
+	// snapshot discipline. The reported totals are the exact sums of the
+	// per-shard values read in this pass. /stats stays answerable during
 	// and after Close — it reports the torn-down state instead of racing it.
-	s.mu.Lock()
 	out := StatsResponse{
-		Sessions:  len(s.sessions),
-		Evicted:   s.evicted,
-		Closed:    s.closed,
-		Uptime:    max(0, s.now().Sub(s.start).Seconds()),
-		GoVersion: runtime.Version(),
-		Build:     buildInfoMap(),
+		Closed:        s.closed.Load(),
+		Shards:        s.nshards,
+		ShardSessions: make([]int, s.nshards),
+		Uptime:        max(0, s.now().Sub(s.start).Seconds()),
+		GoVersion:     runtime.Version(),
+		Build:         buildInfoMap(),
 	}
-	var eng *core.Engine
-	if sess, ok := s.sessions[sessionID(r)]; ok {
-		eng = sess.eng
+	for i, sh := range s.shards {
+		sessions, evicted, _, _ := sh.snapshot()
+		out.ShardSessions[i] = sessions
+		out.Sessions += sessions
+		out.Evicted += evicted
 	}
-	s.mu.Unlock()
-	if eng != nil {
+	if eng, ok := s.peekSession(r); ok {
 		cs := eng.CacheStats()
 		out.Cache = &cs
 	}

@@ -193,11 +193,9 @@ func TestSessionLRUCap(t *testing.T) {
 	}
 	// "a" was evicted: only "b" and "c" survive. (If "a" returns, the
 	// server builds a fresh engine for it — history and cache start over.)
-	srv.mu.Lock()
-	_, aAlive := srv.sessions["a"]
-	_, bAlive := srv.sessions["b"]
-	_, cAlive := srv.sessions["c"]
-	srv.mu.Unlock()
+	aAlive := srv.hasSession("a")
+	bAlive := srv.hasSession("b")
+	cAlive := srv.hasSession("c")
 	if aAlive || !bAlive || !cAlive {
 		t.Errorf("alive sessions a=%v b=%v c=%v, want only b and c", aAlive, bAlive, cAlive)
 	}

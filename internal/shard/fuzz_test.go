@@ -1,0 +1,33 @@
+package shard
+
+import "testing"
+
+// FuzzShardRouting: any session id — hostile, empty, unicode, control
+// bytes — must hash to a valid shard, the routing must be stable across
+// calls and across ring instances, and a 1-shard ring must route
+// everything to shard 0 (the pre-sharding single-table path).
+func FuzzShardRouting(f *testing.F) {
+	f.Add("", uint8(1))
+	f.Add("default", uint8(4))
+	f.Add("user-42", uint8(3))
+	f.Add("日本語セッション", uint8(7))
+	f.Add("\x00\xff\xfe", uint8(16))
+	f.Add(`injection"}\n`, uint8(2))
+	f.Fuzz(func(t *testing.T, id string, raw uint8) {
+		n := int(raw%16) + 1
+		r := NewRing(n)
+		got := r.Locate(id)
+		if got < 0 || got >= n {
+			t.Fatalf("n=%d Locate(%q) = %d, out of [0,%d)", n, id, got, n)
+		}
+		if again := r.Locate(id); again != got {
+			t.Fatalf("n=%d Locate(%q) unstable: %d then %d", n, id, got, again)
+		}
+		if fresh := NewRing(n).Locate(id); fresh != got {
+			t.Fatalf("n=%d Locate(%q) differs on a fresh ring: %d vs %d", n, id, got, fresh)
+		}
+		if one := NewRing(1).Locate(id); one != 0 {
+			t.Fatalf("1-shard ring routed %q to %d, want 0", id, one)
+		}
+	})
+}
