@@ -73,7 +73,7 @@ func usage() {
 subcommands:
   build     -seed -size -tile -out        build the world, persist arrays
   tracegen  -seed -size -tile -out        simulate the study, save traces
-  serve     -seed -size -tile -addr -k [-async] [-prefetch-workers]
+  serve     -seed -size -tile -addr -k [-async] [-push] [-prefetch-workers]
             [-prefetch-queue] [-global-queue] [-decay-half-life]
             [-adaptive-k] [-fair-share] [-utility-learning]
             [-adaptive-allocation] [-hotspot] [-alloc-floor]
@@ -169,6 +169,7 @@ func cmdServe(args []string) error {
 	addr := fs.String("addr", ":8080", "listen address")
 	k := fs.Int("k", 5, "prefetch budget in tiles")
 	async := fs.Bool("async", true, "prefetch through the shared asynchronous scheduler")
+	pushOn := fs.Bool("push", false, "continuous push delivery: stream completed prefetches to attached sessions over GET /stream and price scheduler admission by per-session drain rate (requires -async)")
 	shards := fs.Int("shards", 1, "independent serving-tier shards behind a consistent-hash router keyed on session id (session tables, sweeps and scheduler queues go per-shard; single-flight and learned state stay deployment-wide)")
 	workers := fs.Int("prefetch-workers", 4, "scheduler worker pool size (concurrent DBMS fetches)")
 	queue := fs.Int("prefetch-queue", 64, "queued prefetch entries per session")
@@ -207,6 +208,7 @@ func cmdServe(args []string) error {
 	srv, err := ds.NewServer(traces, forecache.MiddlewareConfig{
 		K:                  *k,
 		AsyncPrefetch:      *async,
+		Push:               *pushOn,
 		Shards:             *shards,
 		PrefetchWorkers:    *workers,
 		PrefetchQueue:      *queue,
@@ -243,7 +245,13 @@ func cmdServe(args []string) error {
 	if *shards > 1 {
 		mode += fmt.Sprintf("; %d shards", *shards)
 	}
+	if *pushOn {
+		mode += "; push delivery"
+	}
 	endpoints := "GET /meta, /tile?level=&y=&x=, /stats"
+	if *pushOn {
+		endpoints += ", /stream"
+	}
 	if *metrics {
 		endpoints += ", /metrics"
 	}
@@ -269,7 +277,35 @@ func cmdServe(args []string) error {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 	fmt.Printf("serving tiles on %s (%s; %s; POST /reset)\n", *addr, mode, endpoints)
-	return serveUntilDone(ctx, &http.Server{Handler: srv}, ln)
+	httpSrv := newHTTPServer(srv)
+	if reg := srv.Push(); reg != nil {
+		// Shutdown waits for in-flight handlers, and every attached push
+		// stream IS an in-flight handler that would otherwise outlive the
+		// drain window. Closing the registry when the drain begins ends each
+		// stream's handler promptly, so SIGTERM with streams open still
+		// drains and exits 0. (Registry Close is idempotent; the deferred
+		// srv.Close repeats it harmlessly.)
+		httpSrv.RegisterOnShutdown(reg.Close)
+	}
+	return serveUntilDone(ctx, httpSrv, ln)
+}
+
+// newHTTPServer wraps the middleware in an http.Server with the serve
+// deployment's protective timeouts. ReadHeaderTimeout bounds how long a
+// client may dribble out request headers (the slowloris hold-open that a
+// zero-value server tolerates forever); IdleTimeout reaps keep-alive
+// connections parked between requests. There is deliberately NO global
+// WriteTimeout: it is an absolute deadline on every response, which would
+// kill each long-lived /stream push response after the interval no matter
+// how healthy — the stream handler instead arms a fresh per-write deadline
+// via http.ResponseController, so only a peer that stops reading is
+// dropped.
+func newHTTPServer(h http.Handler) *http.Server {
+	return &http.Server{
+		Handler:           h,
+		ReadHeaderTimeout: 10 * time.Second,
+		IdleTimeout:       2 * time.Minute,
+	}
 }
 
 // serveUntilDone serves httpSrv on ln until the listener fails or ctx is

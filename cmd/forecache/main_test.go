@@ -7,6 +7,7 @@ import (
 	"net/http/httptest"
 	"os"
 	"path/filepath"
+	"sync"
 	"testing"
 	"time"
 )
@@ -158,5 +159,113 @@ func TestServeUntilDonePropagatesServeError(t *testing.T) {
 	httpSrv := &http.Server{Handler: http.NewServeMux()}
 	if err := serveUntilDone(context.Background(), httpSrv, ln); err == nil {
 		t.Fatal("serve error swallowed; want non-nil")
+	}
+}
+
+// TestServeUntilDoneDrainsOpenStreams pins the shutdown shape cmdServe
+// wires for push: a long-lived streaming handler is an in-flight request
+// that http.Server.Shutdown would wait on past its bound, so an
+// on-shutdown hook (cmdServe registers the push registry's Close) must
+// end the stream and let SIGTERM exit clean with the stream attached.
+func TestServeUntilDoneDrainsOpenStreams(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	streamEnd := make(chan struct{})
+	httpSrv := newHTTPServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusOK)
+		w.(http.Flusher).Flush()
+		select {
+		case <-streamEnd:
+		case <-r.Context().Done():
+		}
+	}))
+	var once sync.Once
+	httpSrv.RegisterOnShutdown(func() { once.Do(func() { close(streamEnd) }) })
+
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() { done <- serveUntilDone(ctx, httpSrv, ln) }()
+
+	resp, err := http.Get("http://" + ln.Addr().String() + "/")
+	if err != nil {
+		t.Fatalf("stream not served: %v", err)
+	}
+	defer resp.Body.Close() // headers received, body (the stream) still open
+
+	cancel()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("shutdown with an open stream returned %v, want nil", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("shutdown hung on the open stream")
+	}
+}
+
+// TestNewHTTPServerTimeouts pins the serve deployment's protective
+// timeouts: header reads and idle keep-alives are bounded, while
+// WriteTimeout stays zero — a global write deadline would kill every
+// long-lived /stream push response (those use per-write deadlines via
+// http.ResponseController instead).
+func TestNewHTTPServerTimeouts(t *testing.T) {
+	s := newHTTPServer(http.NewServeMux())
+	if s.ReadHeaderTimeout <= 0 {
+		t.Error("ReadHeaderTimeout unset: slowloris clients can hold connections open forever")
+	}
+	if s.IdleTimeout <= 0 {
+		t.Error("IdleTimeout unset: idle keep-alive connections are never reaped")
+	}
+	if s.WriteTimeout != 0 {
+		t.Errorf("WriteTimeout = %v, want 0 (a global write deadline kills push streams)", s.WriteTimeout)
+	}
+}
+
+// TestServeRejectsSlowlorisHeaders: a client that opens a connection and
+// dribbles a partial request header must be cut off once
+// ReadHeaderTimeout elapses, not hold the connection open indefinitely —
+// and the serve loop must still shut down cleanly afterwards.
+func TestServeRejectsSlowlorisHeaders(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	httpSrv := newHTTPServer(http.NewServeMux())
+	httpSrv.ReadHeaderTimeout = 150 * time.Millisecond // the test's patience, same mechanism
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() { done <- serveUntilDone(ctx, httpSrv, ln) }()
+
+	conn, err := net.Dial("tcp", ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	// A request line and one header, never finished: the zero-value server
+	// this test guards against would wait forever for the blank line.
+	if _, err := conn.Write([]byte("GET / HTTP/1.1\r\nHost: x\r\n")); err != nil {
+		t.Fatal(err)
+	}
+	start := time.Now()
+	conn.SetReadDeadline(time.Now().Add(10 * time.Second))
+	if _, err := conn.Read(make([]byte, 1)); err == nil {
+		t.Fatal("server answered a half-sent request header")
+	} else if ne, ok := err.(net.Error); ok && ne.Timeout() {
+		t.Fatal("server still holding the slowloris connection after 10s")
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Errorf("connection dropped after %v, want within the header timeout's order", elapsed)
+	}
+
+	cancel()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("shutdown after slowloris returned %v, want nil", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("serveUntilDone did not return after the signal")
 	}
 }

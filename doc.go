@@ -83,6 +83,25 @@
 //     aggregate per-shard snapshots into exact, monotone totals (with
 //     per-shard series like forecache_shard_sessions{shard="0"});
 //     Shards=1, the default, is the unsharded deployment bit-for-bit;
+//   - push-based continuous delivery (internal/push): with
+//     MiddlewareConfig.Push (serve -push) the server mounts GET /stream —
+//     one long-lived SSE response per session — and every completed
+//     prefetch for a stream-attached session is written down it as a
+//     framed tile payload carrying its coordinate, model attribution and
+//     score, with heartbeats while idle and teardown on session eviction
+//     and Close (Khameleon-style: round-trip latency moves from
+//     paid-per-pan to hidden-behind-the-stream). The registry measures
+//     each stream's drain rate from real writes and the scheduler's
+//     admission control ages queued entries by queue-rank × drain delay,
+//     so a slow connection's backlog loses shed fights it would have won
+//     on score alone. The Go client (client.Attach) keeps a bounded
+//     slot buffer — newest frame supersedes, consumed on request
+//     (TileInfo.Streamed) — and auto-reattaches after a drop, with the
+//     server backfilling the session's cached predictions. Stream
+//     telemetry (open streams, pushed/backfilled/dropped frames,
+//     push-to-consume lead time, per-session drain rates) rides /stats
+//     and /metrics as forecache_push_* series. Push off is the pull
+//     deployment bit-for-bit;
 //   - the observability layer (internal/obs): with
 //     MiddlewareConfig.Tracing every /tile request is traced end to end
 //     (trace id echoed as X-Trace-ID, per-span breakdown across session

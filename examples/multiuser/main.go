@@ -36,6 +36,7 @@ func main() {
 	srv, err := ds.NewServer(traces, forecache.MiddlewareConfig{
 		K:                  5,
 		AsyncPrefetch:      true, // submit-and-return prefetching
+		Push:               true, // stream completed prefetches to attached sessions (GET /stream)
 		Shards:             2,    // independent serving-tier shards (consistent-hash on session id)
 		PrefetchWorkers:    4,    // concurrent DBMS fetch budget, divided across shards
 		GlobalQueueBudget:  globalQueueBudget,
@@ -75,12 +76,18 @@ func main() {
 		go func(i int, name string, quad tile.Quadrant) {
 			defer wg.Done()
 			c := client.New(ts.URL, name)
+			// Attach the push stream: completed prefetches for this session
+			// arrive in the client's slot buffer before they're requested.
+			if err := c.Attach(); err != nil {
+				log.Fatal(err)
+			}
+			defer c.Detach()
 			meta, err := c.Meta()
 			if err != nil {
 				log.Fatal(err)
 			}
 			cur := forecache.Coord{}
-			hits, total := 0, 0
+			hits, total, streamed := 0, 0, 0
 			req := func(next forecache.Coord) {
 				_, info, err := c.Tile(next)
 				if err != nil {
@@ -89,6 +96,9 @@ func main() {
 				total++
 				if info.Hit {
 					hits++
+				}
+				if info.Streamed {
+					streamed++
 				}
 				cur = next
 			}
@@ -104,7 +114,7 @@ func main() {
 					req(next)
 				}
 			}
-			results[i] = fmt.Sprintf("%-6s browsed %2d tiles, %2d served from cache", name, total, hits)
+			results[i] = fmt.Sprintf("%-6s browsed %2d tiles, %2d served from cache, %2d already streamed client-side", name, total, hits, streamed)
 		}(i, s.name, s.quad)
 	}
 	wg.Wait()
@@ -125,6 +135,12 @@ func main() {
 		st.Queued, st.Coalesced, st.Cancelled, st.Completed, st.Shed)
 	fmt.Printf("mean queue latency %s across %d sessions; pressure now %.2f (peak queue %d/%d)\n",
 		st.AvgQueueLatency.Round(time.Microsecond), st.Sessions, st.Pressure, st.PeakPending, globalQueueBudget)
+
+	// Push delivery telemetry: the same numbers ride /stats ("push") and
+	// /metrics (forecache_push_*).
+	ps := srv.Push().Stats()
+	fmt.Printf("push streams: %d opened, %d tiles pushed, %d consumed from slot buffers, %d dropped\n",
+		ps.Opened, ps.Pushed, ps.Consumed, ps.Dropped)
 
 	// The closed loop at work: the scheduler's position-utility curve was
 	// fit online from what the analysts actually consumed, and the same

@@ -14,6 +14,7 @@ import (
 	"forecache/internal/persist"
 	"forecache/internal/phase"
 	"forecache/internal/prefetch"
+	"forecache/internal/push"
 	"forecache/internal/recommend"
 	"forecache/internal/server"
 	"forecache/internal/sig"
@@ -187,6 +188,20 @@ type MiddlewareConfig struct {
 	// synchronous so the eval harness and paper experiments remain
 	// deterministic.
 	AsyncPrefetch bool
+	// Push enables continuous push delivery (Khameleon-style): the server
+	// mounts GET /stream — one long-lived SSE response per session — and
+	// every completed prefetch for a stream-attached session is written to
+	// it as a framed tile payload with its coordinate, model attribution and
+	// score, so the client holds the tile before ever asking for it. The
+	// scheduler's admission control grows a bandwidth-aware term: a queued
+	// entry's utility decays by the extra queue-rank × per-session drain
+	// delay (estimated bytes over the stream's measured throughput), so
+	// slow-draining connections lose admission fights they would have won on
+	// score alone. Sessions without an attached stream are untouched, and
+	// with Push off the deployment is bit-for-bit the pull middleware.
+	// Requires AsyncPrefetch (frames are produced by the shared scheduler);
+	// construction fails otherwise. Only NewServer honors this.
+	Push bool
 	// Shards splits the serving tier into N independent shards behind a
 	// consistent-hash router keyed on session id: the server's session
 	// table, TTL/LRU sweep and retired-stats baseline become per-shard
@@ -599,6 +614,9 @@ func (d *Dataset) NewServer(train []*trace.Trace, cfg MiddlewareConfig) (*server
 	if cfg.Pprof {
 		opts = append(opts, server.WithPprof())
 	}
+	if cfg.Push && !cfg.AsyncPrefetch {
+		return nil, fmt.Errorf("forecache: Push requires AsyncPrefetch (push frames are produced by the shared scheduler)")
+	}
 	if cfg.AsyncPrefetch {
 		var util *prefetch.FeedbackCollector
 		if cfg.UtilityLearning {
@@ -611,6 +629,14 @@ func (d *Dataset) NewServer(train []*trace.Trace, cfg MiddlewareConfig) (*server
 			DecayHalfLife:   cfg.DecayHalfLife,
 			Utility:         util,
 			Obs:             pipe,
+		}
+		// One registry is both the scheduler's push sink (frame production)
+		// and the server's /stream transport (frame drain), so the two sides
+		// can never disagree about which sessions have live streams.
+		if cfg.Push {
+			reg := push.NewRegistry(push.Config{Obs: pipe})
+			pcfg.Push = reg
+			opts = append(opts, server.WithPush(reg))
 		}
 		if cfg.Shards > 1 {
 			ss := prefetch.NewShardedScheduler(store, pcfg, cfg.Shards)

@@ -23,6 +23,7 @@ package cache
 
 import (
 	"container/list"
+	"sort"
 	"sync"
 	"time"
 
@@ -432,6 +433,42 @@ func (m *Manager) Peek(c tile.Coord) bool {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	return m.byCoord[c] != nil
+}
+
+// Prediction is one live model-region entry, as exposed by Predictions.
+type Prediction struct {
+	// Model is the region holding the tile.
+	Model string
+	// Position is the batch rank the prefetcher assigned (0 = front-runner).
+	Position int
+	// Tile is the cached tile.
+	Tile *tile.Tile
+}
+
+// Predictions snapshots every live model-region entry in deterministic
+// order (model name, then region order: newest batch first). Like Peek it
+// is purely observational — no consumption marks, no outcomes, no stats —
+// so readers such as push-stream backfill can replay the cache's contents
+// without perturbing the feedback loop that judges predictions.
+func (m *Manager) Predictions() []Prediction {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	models := make([]string, 0, len(m.regions))
+	total := 0
+	for model, region := range m.regions {
+		if len(region) > 0 {
+			models = append(models, model)
+			total += len(region)
+		}
+	}
+	sort.Strings(models)
+	out := make([]Prediction, 0, total)
+	for _, model := range models {
+		for _, pt := range m.regions[model] {
+			out = append(out, Prediction{Model: model, Position: pt.pos, Tile: pt.t})
+		}
+	}
+	return out
 }
 
 // InsertRecent records a tile the interface actually requested into the

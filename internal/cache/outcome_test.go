@@ -423,3 +423,45 @@ func BenchmarkLookupParallelScan8Regions(b *testing.B) {
 		}
 	})
 }
+
+// TestPredictionsIsObservational: Predictions (the push backfill source)
+// returns the live region entries in deterministic order and touches
+// nothing — no consumption marks, no outcomes, no stats — so replaying a
+// session's cache down a reconnected stream can never double-count a
+// prediction's fate.
+func TestPredictionsIsObservational(t *testing.T) {
+	m := NewManager(8)
+	m.TrackOutcomes(true)
+	m.SetAllocations(map[string]int{"ab": 2, "sb": 2})
+	m.FillPredictions("ab", []*tile.Tile{mkTile(2, 0, 0), mkTile(2, 0, 1)}, trace.Foraging)
+	m.FillPredictions("sb", []*tile.Tile{mkTile(2, 1, 0)}, trace.Foraging)
+
+	before := m.Stats()
+	first := m.Predictions()
+	second := m.Predictions()
+	if len(first) != 3 {
+		t.Fatalf("predictions = %d entries, want 3", len(first))
+	}
+	// Deterministic order: model names sorted, region order within.
+	for i := range first {
+		if first[i].Model != second[i].Model || first[i].Tile.Coord != second[i].Tile.Coord {
+			t.Fatalf("snapshot order unstable: %+v vs %+v", first[i], second[i])
+		}
+		if i > 0 && first[i].Model < first[i-1].Model {
+			t.Fatalf("models out of order: %q before %q", first[i-1].Model, first[i].Model)
+		}
+	}
+	if after := m.Stats(); after != before {
+		t.Fatalf("Predictions moved stats: before=%+v after=%+v", before, after)
+	}
+	drain(t, m, nil) // no outcomes emitted
+
+	// The snapshot did not mark anything consumed: a later real lookup
+	// still credits the hit, and eviction of unconsumed entries still
+	// emits its miss outcome.
+	c := tile.Coord{Level: 2, Y: 0, X: 1}
+	if _, ok := m.Lookup(c); !ok {
+		t.Fatal("snapshotted prediction should still hit")
+	}
+	drain(t, m, []Outcome{{Model: "ab", Position: 1, Phase: trace.Foraging, Coord: c, Hit: true}})
+}

@@ -11,8 +11,10 @@ import (
 	"net/http"
 	"net/url"
 	"strconv"
+	"sync"
 	"time"
 
+	"forecache/internal/push"
 	"forecache/internal/tile"
 )
 
@@ -29,6 +31,15 @@ type Client struct {
 	base    string
 	session string
 	http    *http.Client
+
+	// Push-stream state (see push.go). slots is the bounded client-side
+	// buffer of streamed tiles, keyed by coordinate; order is its FIFO
+	// eviction queue, oldest first.
+	mu     sync.Mutex
+	stream *streamState
+	slots  map[tile.Coord]push.Frame
+	order  []tile.Coord
+	pstats PushStats
 }
 
 // New returns a client for the server at base (e.g.
@@ -42,6 +53,10 @@ type TileInfo struct {
 	Hit     bool
 	Phase   string
 	Latency time.Duration
+	// Streamed reports that the tile was already sitting in the client's
+	// push-stream slot buffer when it was requested: it was available with
+	// zero fetch latency before the request was even issued.
+	Streamed bool
 }
 
 // Meta fetches the dataset description.
@@ -52,8 +67,13 @@ func (c *Client) Meta() (Meta, error) {
 }
 
 // Tile requests one tile; the returned info reports whether the middleware
-// had it prefetched.
+// had it prefetched. When a push stream is attached and the coordinate is
+// sitting in the slot buffer, the slot is consumed and Streamed is set —
+// but the HTTP request is still issued, so the server's view of the
+// session's request history stays contiguous and each prefetch outcome is
+// judged exactly once, by the server.
 func (c *Client) Tile(coord tile.Coord) (*tile.Tile, TileInfo, error) {
+	streamed := c.takeSlot(coord)
 	q := url.Values{}
 	q.Set("level", strconv.Itoa(coord.Level))
 	q.Set("y", strconv.Itoa(coord.Y))
@@ -74,8 +94,9 @@ func (c *Client) Tile(coord tile.Coord) (*tile.Tile, TileInfo, error) {
 		return nil, TileInfo{}, fmt.Errorf("client: decode tile: %w", err)
 	}
 	info := TileInfo{
-		Hit:   resp.Header.Get("X-Cache") == "HIT",
-		Phase: resp.Header.Get("X-Phase"),
+		Hit:      resp.Header.Get("X-Cache") == "HIT",
+		Phase:    resp.Header.Get("X-Phase"),
+		Streamed: streamed,
 	}
 	if ms, err := strconv.ParseFloat(resp.Header.Get("X-Latency-Ms"), 64); err == nil {
 		info.Latency = time.Duration(ms * float64(time.Millisecond))

@@ -324,6 +324,17 @@ func (e *Engine) Async() bool {
 	return e.sched != nil
 }
 
+// CachedPredictions snapshots the live prediction entries in this
+// session's cache regions without touching consumption marks, outcomes or
+// statistics. The push layer uses it to backfill a re-attached stream from
+// what prefetching already loaded; because the read is side-effect free,
+// replaying it cannot double-count any feedback outcome.
+func (e *Engine) CachedPredictions() []cache.Prediction {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.cache.Predictions()
+}
+
 // DetachScheduler disconnects the engine from the shared scheduler; later
 // requests prefetch inline and pending deliveries are discarded. The server
 // calls this when evicting a session, before cancelling the session's
@@ -601,6 +612,7 @@ func (e *Engine) submitPrefetch(req trace.Request, allocs map[string]int, ph tra
 			reqs = append(reqs, prefetch.Request{
 				Coord: pred.Coord,
 				Score: pred.Score,
+				Model: name,
 				Deliver: func(t *tile.Tile) {
 					e.deliver(name, epoch, pos, ph, t)
 				},

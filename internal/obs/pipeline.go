@@ -42,6 +42,10 @@ type Pipeline struct {
 	// prefetcher ran usefully ahead; missing leads mean prefetches were
 	// evicted unconsumed.
 	LeadTime *Histogram
+	// PushLead is the push-to-consume lead time: tile frame enqueued to a
+	// session's push stream to that tile's request arriving. The push
+	// analogue of LeadTime — a positive lead means the stream beat the pan.
+	PushLead *Histogram
 
 	// Traces is the bounded ring of completed request traces (nil when
 	// disabled).
@@ -64,6 +68,7 @@ func NewPipeline(cfg Config) *Pipeline {
 		QueueWait:    NewHistogram(ExpBuckets(10e-6, 2, 15)),
 		BackendFetch: NewHistogram(ExpBuckets(100e-6, 2, 15)),
 		LeadTime:     NewHistogram(ExpBuckets(1e-3, 2, 15)),
+		PushLead:     NewHistogram(ExpBuckets(1e-3, 2, 15)),
 		Log:          cfg.Logger,
 	}
 	if cfg.TraceCapacity >= 0 {
@@ -109,6 +114,14 @@ func (p *Pipeline) ObserveLeadTime(d time.Duration) {
 		return
 	}
 	p.LeadTime.ObserveDuration(d)
+}
+
+// ObservePushLead records one push-to-consume lead. Nil-safe.
+func (p *Pipeline) ObservePushLead(d time.Duration) {
+	if p == nil {
+		return
+	}
+	p.PushLead.ObserveDuration(d)
 }
 
 // NewLogger builds a structured text logger at the named level (debug,

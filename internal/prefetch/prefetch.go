@@ -66,10 +66,33 @@ type Request struct {
 	// Score is the recommender's confidence; higher scores are fetched
 	// first within the session.
 	Score float64
+	// Model names the recommender whose prediction asked for the tile; it
+	// is attribution carried through to push frames (Config.Push) and may
+	// be empty.
+	Model string
 	// Deliver is invoked with the fetched tile off the response path
 	// (typically it inserts into the session's cache region). It must be
 	// safe to call from a scheduler worker goroutine. May be nil.
 	Deliver func(*tile.Tile)
+}
+
+// PushSink is the push-delivery hook the scheduler drives when a
+// deployment runs with streaming on (satisfied by *push.Registry; the
+// scheduler deliberately depends on this interface, not the push package).
+// Both methods must be safe for concurrent use and must never block on a
+// slow client, and neither may call back into the scheduler.
+type PushSink interface {
+	// Push offers one completed fetch to session's stream, reporting
+	// whether a frame was enqueued (false: no stream attached or the
+	// stream's buffer is full — the tile still lands in the cache either
+	// way, so refusal costs nothing but the push).
+	Push(session, model string, c tile.Coord, score float64, t *tile.Tile) bool
+	// DrainDelay estimates how long session's connection takes to deliver
+	// one more tile frame (0 when unknown or no stream is attached).
+	// Admission control charges queued entries this much extra age per
+	// rank: a tile the connection cannot drain before it decays stale is
+	// not worth fetching ahead of fresher work.
+	DrainDelay(session string) time.Duration
 }
 
 // Config sizes a scheduler.
@@ -102,6 +125,12 @@ type Config struct {
 	// and how long each DBMS fetch took (backend fetch). Nil (the
 	// default) costs the hot path nothing beyond a nil check.
 	Obs *obs.Pipeline
+	// Push, when set, turns on push delivery: every completed fetch is
+	// offered to the waiter's session stream after the cache delivery, and
+	// admission control discounts queued entries by the session's measured
+	// drain rate (DrainDelay × rank of extra age). Nil (the default) is
+	// the pure pull path, bit-identical to a scheduler without this field.
+	Push PushSink
 
 	// clock overrides time.Now; scheduler tests inject a deterministic
 	// clock so decay is testable without sleeps.
@@ -152,6 +181,9 @@ type Stats struct {
 	Shards int
 	// Completed counts entries whose tile was fetched and delivered.
 	Completed int
+	// Pushed counts completed entries whose tile was also framed onto the
+	// session's push stream (Config.Push; 0 on pull-only deployments).
+	Pushed int
 	// Errors counts entries whose fetch failed.
 	Errors int
 	// Pending is the number of entries queued right now.

@@ -54,9 +54,16 @@ type sessionQueue struct {
 	inRing  bool // whether id is in the round-robin ring
 }
 
+// waiter is one Request waiting on a flight, tagged with its session so
+// push dispatch (Config.Push) knows whose stream the tile belongs on.
+type waiter struct {
+	session string
+	req     Request
+}
+
 // flight is one in-flight DBMS fetch and the requests waiting on it.
 type flight struct {
-	waiters []Request
+	waiters []waiter
 }
 
 // Scheduler is the shared asynchronous prefetch pipeline. Construct with
@@ -126,6 +133,12 @@ func (s *Scheduler) Submit(session string, reqs []Request) int {
 		s.sessions[session] = sq
 	}
 	s.cancelQueuedLocked(sq)
+	// The bandwidth-aware admission term: with push delivery on, queued
+	// entries age by the connection's measured per-frame drain time as well
+	// as by wall clock, so tiles a slow stream cannot deliver before they
+	// decay stale lose admission fights. 0 (pull mode, no stream, or no
+	// measurement yet) prices exactly like the classic pull path.
+	pushDelay := s.cfg.pushDelay(session)
 	// Process the batch in descending score order: the queue was just
 	// cleared, so when the budget truncates, it is exactly the batch's
 	// lowest-scored entries that drop (the documented contract), whatever
@@ -143,7 +156,7 @@ func (s *Scheduler) Submit(session string, reqs []Request) int {
 		// A fetch for this tile is already in flight (another session's,
 		// typically): piggyback on it instead of queueing a duplicate.
 		if fl, ok := s.inflight[reqs[i].Coord]; ok {
-			fl.waiters = append(fl.waiters, reqs[i])
+			fl.waiters = append(fl.waiters, waiter{session: session, req: reqs[i]})
 			s.stats.Coalesced++
 			accepted++
 			continue
@@ -163,8 +176,10 @@ func (s *Scheduler) Submit(session string, reqs []Request) int {
 			// will occupy: sq.queued entries sit ahead of it, so its
 			// 0-indexed rank is sq.queued. (After the heap.Push below the
 			// same rank reads sq.queued-1 — the counter has incremented by
-			// then; the two sites price the same position.)
-			u := decayedUtilityFactor(reqs[i].Score, 0, s.cfg.DecayHalfLife, s.cfg.positionFactor(sq.queued))
+			// then; the two sites price the same position.) With push
+			// delivery on, the rank also charges drain time: the connection
+			// must deliver rank+1 frames before this one reaches the client.
+			u := decayedUtilityFactor(reqs[i].Score, time.Duration(sq.queued+1)*pushDelay, s.cfg.DecayHalfLife, s.cfg.positionFactor(sq.queued))
 			if !s.shedLowestBelowLocked(shed, u) {
 				s.stats.Dropped++
 				continue
@@ -187,7 +202,7 @@ func (s *Scheduler) Submit(session string, reqs []Request) int {
 			// factors are non-increasing, a later same-batch entry can
 			// never outrank an earlier one — these candidates only ever
 			// lose fights, they are here so the accounting stays exact.
-			heap.Push(shed, shedCand{e: e, util: decayedUtilityFactor(e.req.Score, 0, s.cfg.DecayHalfLife, s.cfg.positionFactor(sq.queued-1))})
+			heap.Push(shed, shedCand{e: e, util: decayedUtilityFactor(e.req.Score, time.Duration(sq.queued)*pushDelay, s.cfg.DecayHalfLife, s.cfg.positionFactor(sq.queued-1))})
 		}
 		set := s.byCoord[e.req.Coord]
 		if set == nil {
@@ -418,18 +433,18 @@ func (s *Scheduler) worker() {
 		coord := e.req.Coord
 		if fl, ok := s.inflight[coord]; ok {
 			// Another worker is already fetching this tile: piggyback.
-			fl.waiters = append(fl.waiters, e.req)
+			fl.waiters = append(fl.waiters, waiter{session: e.session, req: e.req})
 			s.stats.Coalesced++
 			s.mu.Unlock()
 			continue
 		}
-		fl := &flight{waiters: []Request{e.req}}
+		fl := &flight{waiters: []waiter{{session: e.session, req: e.req}}}
 		// Absorb queued duplicates from every session: one DBMS round trip
 		// serves them all.
 		for dup := range s.byCoord[coord] {
 			dup.state = stateDone
 			s.addQueuedLocked(s.sessions[dup.session], -1)
-			fl.waiters = append(fl.waiters, dup.req)
+			fl.waiters = append(fl.waiters, waiter{session: dup.session, req: dup.req})
 			s.accountLatencyLocked(dup, now)
 			s.stats.Coalesced++
 			s.stats.Pending--
@@ -466,11 +481,24 @@ func (s *Scheduler) worker() {
 		// be cross-session head-of-line blocking.
 		go func() {
 			for _, w := range waiters {
-				if w.Deliver != nil {
-					w.Deliver(t)
+				if w.req.Deliver != nil {
+					w.req.Deliver(t)
+				}
+			}
+			// Push dispatch runs after the cache deliveries (the stream
+			// frame must never beat its own cache insert) and before
+			// delivering is released, so Drain returning guarantees every
+			// completed fetch's frame has been enqueued.
+			pushed := 0
+			if sink := s.cfg.Push; sink != nil {
+				for _, w := range waiters {
+					if sink.Push(w.session, w.req.Model, coord, w.req.Score, t) {
+						pushed++
+					}
 				}
 			}
 			s.mu.Lock()
+			s.stats.Pushed += pushed
 			s.delivering--
 			s.idle.Broadcast()
 			s.mu.Unlock()

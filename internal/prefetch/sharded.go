@@ -111,7 +111,12 @@ type ShardedScheduler struct {
 	ring   *shard.Ring
 	shards []*Scheduler
 	store  *CoalescingStore
-	budget int // per-shard GlobalQueue, for the aggregate pressure
+	// total is the *configured* deployment-wide GlobalQueue — the aggregate
+	// pressure denominator. It must not be reconstructed as per-shard × n:
+	// per-shard budgets are ceil-divided, so that product overshoots for
+	// non-divisible splits (1024 over 3 shards → 342×3 = 1026) and pressure
+	// would never read 1.0 at true saturation.
+	total int
 }
 
 // NewShardedScheduler starts n scheduler shards over store. The
@@ -121,9 +126,9 @@ type ShardedScheduler struct {
 // single scheduler with the same cfg would run (QueuePerSession is
 // per-session and passes through unchanged). The store is wrapped in one
 // shared CoalescingStore so cross-shard duplicates still cost one DBMS
-// fetch. Shared learning state (cfg.Utility, cfg.Obs) is deployment-wide
-// by construction: every shard feeds the same collector and pipeline.
-// Call Close to stop all worker pools.
+// fetch. Shared learning state (cfg.Utility, cfg.Obs, cfg.Push) is
+// deployment-wide by construction: every shard feeds the same collector,
+// pipeline and push registry. Call Close to stop all worker pools.
 func NewShardedScheduler(store backend.Store, cfg Config, n int) *ShardedScheduler {
 	if n < 1 {
 		n = 1
@@ -138,7 +143,7 @@ func NewShardedScheduler(store backend.Store, cfg Config, n int) *ShardedSchedul
 		ring:   shard.NewRing(n),
 		shards: make([]*Scheduler, n),
 		store:  NewCoalescingStore(store),
-		budget: per.GlobalQueue,
+		total:  cfg.GlobalQueue,
 	}
 	for i := range ss.shards {
 		ss.shards[i] = NewScheduler(ss.store, per)
@@ -171,7 +176,7 @@ func (ss *ShardedScheduler) CancelSession(session string) {
 // ones therefore reads as partial pressure — the per-shard signal engines
 // actually shrink on comes from their own shard's Pressure.
 func (ss *ShardedScheduler) Pressure() float64 {
-	if ss.budget <= 0 {
+	if ss.total <= 0 {
 		return 0
 	}
 	pending := 0
@@ -179,7 +184,7 @@ func (ss *ShardedScheduler) Pressure() float64 {
 		st := sh.Stats()
 		pending += st.Pending
 	}
-	p := float64(pending) / float64(ss.budget*len(ss.shards))
+	p := float64(pending) / float64(ss.total)
 	if p > 1 {
 		p = 1
 	}
@@ -216,6 +221,7 @@ func (ss *ShardedScheduler) Stats() Stats {
 		agg.Cancelled += st.Cancelled
 		agg.Coalesced += st.Coalesced
 		agg.Completed += st.Completed
+		agg.Pushed += st.Pushed
 		agg.Errors += st.Errors
 		agg.Pending += st.Pending
 		agg.PeakPending += st.PeakPending
@@ -239,8 +245,8 @@ func (ss *ShardedScheduler) Stats() Stats {
 	if measured > 0 {
 		agg.AvgQueueLatency = latency / time.Duration(measured)
 	}
-	if ss.budget > 0 {
-		p := float64(agg.Pending) / float64(ss.budget*len(ss.shards))
+	if ss.total > 0 {
+		p := float64(agg.Pending) / float64(ss.total)
 		if p > 1 {
 			p = 1
 		}

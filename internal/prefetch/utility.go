@@ -30,6 +30,20 @@ func (c Config) positionFactor(pos int) float64 {
 	return math.Pow(positionBase, float64(pos))
 }
 
+// pushDelay returns session's estimated per-frame drain time when push
+// delivery is configured, 0 otherwise. The bandwidth-aware admission term
+// charges a queued entry ranked r an extra (r+1)×pushDelay of decay age —
+// the time the session's connection needs to deliver it and everything
+// ahead of it — so a slow stream's speculative tail loses admission fights
+// it would have won on model confidence alone. (Like wall-clock decay, the
+// term is active only with a nonzero DecayHalfLife.)
+func (c Config) pushDelay(session string) time.Duration {
+	if c.Push == nil {
+		return 0
+	}
+	return c.Push.DrainDelay(session)
+}
+
 // decayedUtility is the admission-control currency with the static default
 // curve; see decayedUtilityFactor.
 func decayedUtility(score float64, age, halfLife time.Duration, pos int) float64 {
@@ -109,10 +123,13 @@ func (s *Scheduler) buildShedHeapLocked(now time.Time) *shedHeap {
 			}
 			return live[a].seq < live[b].seq
 		})
+		// With push delivery on, incumbents age by their session's drain
+		// time too — rank pos waits behind pos frames plus its own.
+		delay := s.cfg.pushDelay(sq.id)
 		for pos, e := range live {
 			h = append(h, shedCand{
 				e:    e,
-				util: decayedUtilityFactor(e.req.Score, now.Sub(e.enqueued), s.cfg.DecayHalfLife, s.cfg.positionFactor(pos)),
+				util: decayedUtilityFactor(e.req.Score, now.Sub(e.enqueued)+time.Duration(pos+1)*delay, s.cfg.DecayHalfLife, s.cfg.positionFactor(pos)),
 			})
 		}
 	}

@@ -245,7 +245,38 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 
+	if s.push != nil {
+		st := s.push.Stats()
+		pw.gauge("forecache_push_streams", "Push streams attached right now.", float64(st.Open))
+		pw.counter("forecache_push_streams_opened_total", "Push stream attachments ever (reconnects included).", float64(st.Opened))
+		pw.counter("forecache_push_tiles_total", "Tile frames enqueued onto push streams (backfill included).", float64(st.Pushed))
+		pw.counter("forecache_push_backfill_total", "Tile frames replayed from the server-side cache on stream re-attach.", float64(st.Backfilled))
+		pw.counter("forecache_push_dropped_total", "Push frames lost to a full stream buffer or a detached session.", float64(st.Dropped))
+		pw.counter("forecache_push_heartbeats_total", "Heartbeat frames written on idle push streams.", float64(st.Heartbeats))
+		pw.counter("forecache_push_consumed_total", "Pushed tiles whose session later requested them.", float64(st.Consumed))
+		drainIDs := make([]string, 0, len(st.DrainRates))
+		for id := range st.DrainRates {
+			drainIDs = append(drainIDs, id)
+		}
+		sort.Strings(drainIDs)
+		drainSamples := make([]sample, len(drainIDs))
+		for i, id := range drainIDs {
+			drainSamples[i] = sample{
+				labels: labels(map[string]string{"session": id}),
+				value:  st.DrainRates[id],
+			}
+		}
+		pw.family("forecache_push_drain_bytes_per_second",
+			"Measured per-session stream drain rate (EWMA); the scheduler's bandwidth-aware admission term divides by it.",
+			"gauge", drainSamples...)
+	}
+
 	if s.obs != nil {
+		if s.push != nil {
+			pw.histogramFamily("forecache_push_lead_time_seconds",
+				"Push-to-consume lead time: tile frame enqueued onto a session's stream to that tile's request arriving.",
+				histSeries{snap: s.obs.PushLead.Snapshot()})
+		}
 		pw.histogramFamily("forecache_request_duration_seconds",
 			"End-to-end /tile request latency by outcome: hit (served from a middleware cache), miss (synchronous DBMS fetch), shed (refused before a tile was served).",
 			histSeries{labels: map[string]string{"outcome": obs.OutcomeHit}, snap: s.obs.RequestHit.Snapshot()},

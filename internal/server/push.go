@@ -1,0 +1,109 @@
+package server
+
+import (
+	"net/http"
+	"time"
+
+	"forecache/internal/push"
+)
+
+// streamWriteTimeout bounds each individual frame write on a push stream.
+// The serve CLI deliberately runs without a global http.Server WriteTimeout
+// (it would kill every long-lived stream after the deadline no matter how
+// healthy); instead the stream handler arms a fresh per-write deadline via
+// http.ResponseController, so only a peer that stops reading for this long
+// gets its stream dropped.
+const streamWriteTimeout = 30 * time.Second
+
+// WithPush attaches the deployment's push-stream registry and mounts
+// GET /stream: one long-lived SSE response per session carrying framed
+// prefetched tiles (internal/push wire format), heartbeats while idle, and
+// teardown on session eviction and Close. The same registry must be handed
+// to the prefetch pipeline (prefetch.Config.Push) — the scheduler produces
+// the frames this endpoint drains.
+func WithPush(reg *push.Registry) Option {
+	return func(s *Server) { s.push = reg }
+}
+
+// Push returns the attached push registry (nil on pull-only deployments).
+func (s *Server) Push() *push.Registry { return s.push }
+
+// handleStream is the long-lived per-session push response. Lifecycle:
+// attach (superseding any previous stream for the session — reconnects
+// win), backfill the session's live cached predictions, then drain frames
+// until the stream is torn down (session evicted, registry closed, client
+// gone, or a write stalls past streamWriteTimeout).
+func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
+	eng, err := s.session(r)
+	if err != nil {
+		status := http.StatusInternalServerError
+		if err == ErrClosed {
+			status = http.StatusServiceUnavailable
+		}
+		httpError(w, status, err)
+		return
+	}
+	id := sessionID(r)
+	st := s.push.Attach(id)
+	if st == nil { // registry already closed
+		httpError(w, http.StatusServiceUnavailable, ErrClosed)
+		return
+	}
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.Header().Set("X-Accel-Buffering", "no") // proxies must not buffer the stream
+	w.WriteHeader(http.StatusOK)
+	rc := http.NewResponseController(w)
+	_ = rc.Flush()
+
+	// write frames one SSE event with a per-write deadline and feeds the
+	// observed throughput back into the session's drain-rate estimate (the
+	// scheduler's bandwidth-aware admission term).
+	write := func(f push.Frame) bool {
+		start := time.Now()
+		_ = rc.SetWriteDeadline(start.Add(streamWriteTimeout))
+		n, err := push.Encode(w, f)
+		if err != nil {
+			return false
+		}
+		if err := rc.Flush(); err != nil {
+			return false
+		}
+		s.push.RecordWrite(id, n, time.Since(start))
+		return true
+	}
+
+	// Backfill: replay the prediction entries already cached for this
+	// session, so a dropped-and-reattached stream recovers what the old one
+	// carried without new DBMS fetches. CachedPredictions is side-effect
+	// free, so the replay cannot double-count feedback outcomes.
+	for _, p := range eng.CachedPredictions() {
+		s.push.Backfill(st, p.Model, p.Tile.Coord, p.Tile)
+	}
+
+	hb := time.NewTicker(s.push.HeartbeatInterval())
+	defer hb.Stop()
+	for {
+		select {
+		case f := <-st.Frames():
+			if !write(f) {
+				s.push.Release(st)
+				return
+			}
+		case <-hb.C:
+			if !write(push.Frame{Type: push.FrameHeartbeat, Session: id}) {
+				s.push.Release(st)
+				return
+			}
+			s.push.CountHeartbeat()
+		case <-st.Done():
+			// Superseded, evicted, or registry closed: the closer already
+			// removed the registry entry; just end the response. Never block
+			// here — Close must not wait on a stream mid-write.
+			return
+		case <-r.Context().Done():
+			s.push.Release(st)
+			return
+		}
+	}
+}

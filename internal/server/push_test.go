@@ -1,0 +1,329 @@
+package server
+
+import (
+	"bufio"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+
+	"forecache/internal/backend"
+	"forecache/internal/core"
+	"forecache/internal/prefetch"
+	"forecache/internal/push"
+	"forecache/internal/recommend"
+	"forecache/internal/tile"
+)
+
+// pushTestServer wires the full push pipeline: one registry shared by the
+// scheduler (frame production) and the server (stream transport).
+func pushTestServer(t *testing.T, pcfg push.Config, opts ...Option) (*Server, *httptest.Server, *prefetch.Scheduler, *push.Registry) {
+	t.Helper()
+	pyr := testPyramid(t)
+	db := backend.NewDBMS(pyr, backend.DefaultLatency(), nil)
+	reg := push.NewRegistry(pcfg)
+	sched := prefetch.NewScheduler(db, prefetch.Config{Workers: 2, Push: reg})
+	factory := func(session string) (*core.Engine, error) {
+		m := recommend.NewMomentum()
+		return core.NewEngine(db, nil, core.SinglePolicy{Model: m.Name()},
+			[]recommend.Model{m}, core.Config{K: 4},
+			core.WithScheduler(sched, session))
+	}
+	srv := New(Meta{Levels: pyr.NumLevels(), TileSize: pyr.TileSize(), Attrs: pyr.Attrs()},
+		factory, append(opts, WithScheduler(sched), WithPush(reg))...)
+	ts := httptest.NewServer(srv)
+	t.Cleanup(ts.Close)
+	t.Cleanup(srv.Close)
+	return srv, ts, sched, reg
+}
+
+// attachStream opens GET /stream for a session and decodes frames into the
+// returned channel until the stream ends (then the channel closes).
+func attachStream(t *testing.T, ts *httptest.Server, session string) (<-chan push.Frame, *http.Response) {
+	t.Helper()
+	resp, err := ts.Client().Get(ts.URL + "/stream?session=" + session)
+	if err != nil {
+		t.Fatalf("attach stream: %v", err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		resp.Body.Close()
+		t.Fatalf("stream status = %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "text/event-stream" {
+		resp.Body.Close()
+		t.Fatalf("stream content type = %q", ct)
+	}
+	frames := make(chan push.Frame, 256)
+	go func() {
+		defer close(frames)
+		r := bufio.NewReader(resp.Body)
+		for {
+			f, err := push.Decode(r)
+			if err != nil {
+				return
+			}
+			frames <- f
+		}
+	}()
+	t.Cleanup(func() { resp.Body.Close() })
+	return frames, resp
+}
+
+// waitFrame receives one frame or fails after the timeout. ok=false means
+// the stream ended (channel closed).
+func waitFrame(t *testing.T, frames <-chan push.Frame, timeout time.Duration) (push.Frame, bool) {
+	t.Helper()
+	select {
+	case f, ok := <-frames:
+		return f, ok
+	case <-time.After(timeout):
+		t.Fatal("no frame within timeout")
+		return push.Frame{}, false
+	}
+}
+
+// TestStreamDeliversPushedTiles: a tile request's prefetch batch is framed
+// down the session's stream, and requesting a pushed coordinate closes the
+// push-to-consume loop.
+func TestStreamDeliversPushedTiles(t *testing.T) {
+	_, ts, sched, reg := pushTestServer(t, push.Config{})
+	frames, _ := attachStream(t, ts, "u1")
+
+	resp, err := ts.Client().Get(ts.URL + "/tile?level=0&y=0&x=0&session=u1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	sched.Drain() // every completed fetch's frame is enqueued once Drain returns
+
+	f, ok := waitFrame(t, frames, 5*time.Second)
+	if !ok {
+		t.Fatal("stream ended before any tile frame")
+	}
+	if f.Type != push.FrameTile || f.Session != "u1" || f.Seq == 0 || f.Tile == nil {
+		t.Fatalf("frame = %+v", f)
+	}
+	if f.Model == "" {
+		t.Fatalf("frame missing model attribution: %+v", f)
+	}
+	if st := reg.Stats(); st.Open != 1 || st.Pushed < 1 {
+		t.Fatalf("registry stats = %+v", st)
+	}
+
+	// Consuming the pushed coordinate records one lead-time observation.
+	u := fmt.Sprintf("/tile?level=%d&y=%d&x=%d&session=u1", f.Coord.Level, f.Coord.Y, f.Coord.X)
+	resp, err = ts.Client().Get(ts.URL + u)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("consume status = %d", resp.StatusCode)
+	}
+	if st := reg.Stats(); st.Consumed != 1 {
+		t.Fatalf("Consumed = %d, want 1", st.Consumed)
+	}
+}
+
+// TestStreamBackfillOnReconnect: a re-attached stream replays the
+// session's live cached predictions as backfill frames, without emitting
+// any new cache outcome (the feedback loop judges each prediction exactly
+// once, on real consumption).
+func TestStreamBackfillOnReconnect(t *testing.T) {
+	srv, ts, sched, reg := pushTestServer(t, push.Config{})
+
+	// No stream attached yet: prefetches land in the cache only.
+	resp, err := ts.Client().Get(ts.URL + "/tile?level=0&y=0&x=0&session=u1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	sched.Drain()
+	if st := reg.Stats(); st.Pushed != 0 {
+		t.Fatalf("pushed %d frames with no stream attached", st.Pushed)
+	}
+	eng, ok := srv.peekSession(httptest.NewRequest("GET", "/stats?session=u1", nil))
+	if !ok {
+		t.Fatal("session u1 missing")
+	}
+	cached := eng.CachedPredictions()
+	if len(cached) == 0 {
+		t.Fatal("no cached predictions to backfill")
+	}
+	before := eng.CacheStats()
+
+	// Attach (a "reconnect" after the dropped pre-test stream): every
+	// cached prediction must arrive as a backfill-marked frame.
+	frames, _ := attachStream(t, ts, "u1")
+	got := map[tile.Coord]bool{}
+	for range cached {
+		f, ok := waitFrame(t, frames, 5*time.Second)
+		if !ok {
+			t.Fatal("stream ended mid-backfill")
+		}
+		if !f.Backfill {
+			t.Fatalf("expected backfill frame, got %+v", f)
+		}
+		got[f.Coord] = true
+	}
+	for _, p := range cached {
+		if !got[p.Tile.Coord] {
+			t.Fatalf("cached prediction %v not backfilled (got %v)", p.Tile.Coord, got)
+		}
+	}
+	if st := reg.Stats(); st.Backfilled != len(cached) {
+		t.Fatalf("Backfilled = %d, want %d", st.Backfilled, len(cached))
+	}
+	// The replay is observational: it must not register as consumption,
+	// eviction or a fresh prefetch in the feedback loop's raw material.
+	if after := eng.CacheStats(); after != before {
+		t.Fatalf("backfill perturbed cache stats: before=%+v after=%+v", before, after)
+	}
+}
+
+// TestStreamSupersededByReconnect: a second attach for the same session
+// ends the first stream (newest connection wins).
+func TestStreamSupersededByReconnect(t *testing.T) {
+	_, ts, _, reg := pushTestServer(t, push.Config{})
+	first, _ := attachStream(t, ts, "u1")
+	second, _ := attachStream(t, ts, "u1")
+	select {
+	case _, ok := <-first:
+		if ok {
+			t.Fatal("unexpected frame on superseded stream")
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("superseded stream still open")
+	}
+	select {
+	case _, ok := <-second:
+		t.Fatalf("fresh stream ended (frame=%v)", ok)
+	default:
+	}
+	if st := reg.Stats(); st.Open != 1 || st.Opened != 2 {
+		t.Fatalf("registry stats = %+v", st)
+	}
+}
+
+// TestStreamHeartbeat: an idle stream emits heartbeat frames at the
+// configured cadence.
+func TestStreamHeartbeat(t *testing.T) {
+	_, ts, _, reg := pushTestServer(t, push.Config{Heartbeat: 30 * time.Millisecond})
+	frames, _ := attachStream(t, ts, "u1")
+	f, ok := waitFrame(t, frames, 5*time.Second)
+	if !ok {
+		t.Fatal("stream ended before a heartbeat")
+	}
+	if f.Type != push.FrameHeartbeat {
+		t.Fatalf("frame = %+v, want heartbeat", f)
+	}
+	if st := reg.Stats(); st.Heartbeats < 1 {
+		t.Fatalf("Heartbeats = %d", st.Heartbeats)
+	}
+}
+
+// TestStreamClosedOnEviction: LRU-evicting a session ends its stream (the
+// handler goroutine observes the registry detach and returns, closing the
+// response).
+func TestStreamClosedOnEviction(t *testing.T) {
+	_, ts, _, _ := pushTestServer(t, push.Config{}, WithSessionLimit(1))
+	frames, _ := attachStream(t, ts, "a")
+	// Creating session b evicts a (cap 1) and must tear a's stream down.
+	resp, err := ts.Client().Get(ts.URL + "/tile?level=0&y=0&x=0&session=b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	select {
+	case _, ok := <-frames:
+		if ok {
+			t.Fatal("unexpected frame on evicted session's stream")
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("evicted session's stream still open")
+	}
+}
+
+// TestStreamClosedOnServerClose: Close ends every open stream promptly and
+// a post-Close attach is refused.
+func TestStreamClosedOnServerClose(t *testing.T) {
+	srv, ts, _, _ := pushTestServer(t, push.Config{})
+	frames, _ := attachStream(t, ts, "a")
+	srv.Close()
+	select {
+	case _, ok := <-frames:
+		if ok {
+			t.Fatal("unexpected frame after Close")
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("stream still open after Close")
+	}
+	resp, err := ts.Client().Get(ts.URL + "/stream?session=late")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("post-close stream status = %d, want 503", resp.StatusCode)
+	}
+}
+
+// TestStreamEvictionWriteCloseRace races stream attaches, tile-driven
+// pushes, LRU evictions and Close under -race: every request completes,
+// Close does not deadlock on a mid-write stream, and no goroutine leaks a
+// stream past shutdown.
+func TestStreamEvictionWriteCloseRace(t *testing.T) {
+	srv, ts, _, reg := pushTestServer(t, push.Config{Heartbeat: 5 * time.Millisecond}, WithSessionLimit(2))
+	start := make(chan struct{})
+	var wg sync.WaitGroup
+	// Stream churn: 3 session ids over a 2-session cap forces evictions.
+	for g := 0; g < 3; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			<-start
+			for i := 0; i < 15; i++ {
+				resp, err := ts.Client().Get(ts.URL + fmt.Sprintf("/stream?session=s%d", g))
+				if err != nil {
+					return // server closed mid-dial
+				}
+				buf := make([]byte, 512)
+				resp.Body.Read(buf) // pull a little so writes interleave
+				resp.Body.Close()
+			}
+		}(g)
+	}
+	// Tile traffic drives prefetch pushes and evictions.
+	for g := 0; g < 3; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			<-start
+			for i := 0; i < 30; i++ {
+				url := ts.URL + fmt.Sprintf("/tile?level=%d&y=0&x=0&session=s%d", i%2, g)
+				resp, err := ts.Client().Get(url)
+				if err != nil {
+					return
+				}
+				resp.Body.Close()
+				if resp.StatusCode != http.StatusOK && resp.StatusCode != http.StatusServiceUnavailable {
+					t.Errorf("tile status = %d", resp.StatusCode)
+				}
+			}
+		}(g)
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		<-start
+		time.Sleep(10 * time.Millisecond)
+		srv.Close()
+	}()
+	close(start)
+	wg.Wait()
+	if st := reg.Stats(); st.Open != 0 {
+		t.Fatalf("streams leaked past Close: %+v", st)
+	}
+}

@@ -42,6 +42,7 @@ import (
 	"forecache/internal/obs"
 	"forecache/internal/persist"
 	"forecache/internal/prefetch"
+	"forecache/internal/push"
 	"forecache/internal/shard"
 	"forecache/internal/tile"
 )
@@ -179,6 +180,7 @@ type Server struct {
 	sched       prefetch.Pipeline
 	alloc       *core.AdaptivePolicy
 	persist     *persist.Store
+	push        *push.Registry // nil => pull-only deployment
 	metrics     bool
 	obs         *obs.Pipeline // nil => untraced
 	pprofOn     bool
@@ -220,6 +222,9 @@ func New(meta Meta, factory EngineFactory, opts ...Option) *Server {
 	s.mux.HandleFunc("GET /tile", s.handleTile)
 	s.mux.HandleFunc("GET /stats", s.handleStats)
 	s.mux.HandleFunc("POST /reset", s.handleReset)
+	if s.push != nil {
+		s.mux.HandleFunc("GET /stream", s.handleStream)
+	}
 	if s.metrics {
 		s.mux.HandleFunc("GET /metrics", s.handleMetrics)
 	}
@@ -259,6 +264,9 @@ func (s *Server) NumShards() int { return s.nshards }
 // snapshot sees the last outcomes the worker pool delivered.
 func (s *Server) Close() {
 	if s.closed.Swap(true) {
+		if s.push != nil {
+			s.push.Close() // idempotent; re-signals any straggling streams
+		}
 		if s.sched != nil {
 			s.sched.Close() // idempotent; lets double-Close still stop workers
 		}
@@ -279,6 +287,13 @@ func (s *Server) Close() {
 		sh.recency.Init()
 		sh.mu.Unlock()
 		s.releaseSessions(closing)
+	}
+	if s.push != nil {
+		// Signal every remaining stream handler to return (sessions created
+		// mid-Close may have attached after their shard drained). Close only
+		// closes done channels — it never waits on a handler mid-write, so
+		// it cannot deadlock against a stalled stream.
+		s.push.Close()
 	}
 	if s.sched != nil {
 		s.sched.Close()
@@ -442,14 +457,21 @@ func (sh *sessionShard) snapshot() (sessions, evicted int, retired cache.Stats, 
 // releaseSessions finishes evictions outside the shard lock: the engine is
 // detached first (so a request running right now cannot re-register the
 // session with the scheduler after the cancel), then the session's queued
-// prefetches are dropped.
+// prefetches are dropped and its push stream, if any, is torn down (the
+// stream handler observes the closed done channel and returns — an evicted
+// session must not leak a goroutine holding a hijackable response).
 func (s *Server) releaseSessions(evicted []*session) {
-	if s.sched == nil {
+	if s.sched == nil && s.push == nil {
 		return
 	}
 	for _, sess := range evicted {
 		sess.eng.DetachScheduler()
-		s.sched.CancelSession(sess.id)
+		if s.sched != nil {
+			s.sched.CancelSession(sess.id)
+		}
+		if s.push != nil {
+			s.push.Detach(sess.id)
+		}
 	}
 }
 
@@ -514,6 +536,11 @@ func (s *Server) handleTile(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, err)
 		return
 	}
+	if s.push != nil {
+		// Close the push-to-consume loop: if this tile was framed onto the
+		// session's stream, its lead time (push to request) is observed now.
+		s.push.Consumed(sessionID(r), c)
+	}
 	if resp.Hit {
 		w.Header().Set("X-Cache", "HIT")
 	} else {
@@ -544,6 +571,10 @@ type StatsResponse struct {
 	ShardSessions []int           `json:"shard_sessions"`
 	Pressure      float64         `json:"pressure"`
 	Scheduler     *prefetch.Stats `json:"scheduler,omitempty"`
+	// Push reports the push-delivery registry (open streams, pushed and
+	// consumed frames, per-session drain rates). Absent on pull-only
+	// deployments.
+	Push *push.Stats `json:"push,omitempty"`
 	// Allocation maps phase name -> model -> current smoothed budget share
 	// of the deployment's shared AdaptivePolicy.
 	Allocation map[string]map[string]float64 `json:"allocation,omitempty"`
@@ -610,6 +641,10 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		st := s.sched.Stats()
 		out.Scheduler = &st
 		out.Pressure = st.Pressure
+	}
+	if s.push != nil {
+		st := s.push.Stats()
+		out.Push = &st
 	}
 	if s.alloc != nil {
 		shares := s.alloc.Shares()
