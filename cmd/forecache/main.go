@@ -80,6 +80,7 @@ subcommands:
             [-alloc-warmup] [-alloc-max-step] [-metrics]
             [-tracing] [-trace-buffer] [-pprof] [-log-level]
             [-state-dir] [-snapshot-interval]
+            [-binary-tiles] [-encoded-cache-budget]
             [-shared-tiles] [-max-sessions] [-session-ttl]
                                           run the HTTP middleware
                                           (SIGINT/SIGTERM shut down
@@ -190,6 +191,8 @@ func cmdServe(args []string) error {
 	logLevel := fs.String("log-level", "info", "structured request log level: debug, info, warn or error (debug logs every finished trace)")
 	stateDir := fs.String("state-dir", "", "directory for crash-safe snapshots of learned state (utility curve, allocation shares, hotspot table); restored at startup, written on -snapshot-interval and at shutdown (empty disables)")
 	snapshotInterval := fs.Duration("snapshot-interval", 0, "background snapshot cadence (0 = 30s default; negative disables the ticker, shutdown still snapshots)")
+	binaryTiles := fs.Bool("binary-tiles", false, "zero-recompute tile serving: memoize encoded payloads deployment-wide, content-negotiate the binary codec (Accept: application/x-forecache-tile) and gzip on /tile, and push cached bytes down streams; clients without the Accept header still get byte-identical JSON")
+	encodedBudget := fs.Int64("encoded-cache-budget", 0, "encoded tile payload cache budget in bytes (0 = 64 MiB default; only meaningful with -binary-tiles)")
 	sharedTiles := fs.Int("shared-tiles", 512, "cross-session shared tile pool capacity (0 disables)")
 	maxSessions := fs.Int("max-sessions", 1024, "live session cap, LRU-evicted past it (0 = unlimited)")
 	sessionTTL := fs.Duration("session-ttl", 30*time.Minute, "evict sessions idle this long (0 = never)")
@@ -229,6 +232,8 @@ func cmdServe(args []string) error {
 		Logger:             logger,
 		StateDir:           *stateDir,
 		SnapshotInterval:   *snapshotInterval,
+		BinaryTiles:        *binaryTiles,
+		EncodedCacheBudget: *encodedBudget,
 		SharedTiles:        *sharedTiles,
 		MaxSessions:        *maxSessions,
 		SessionTTL:         *sessionTTL,
@@ -247,6 +252,9 @@ func cmdServe(args []string) error {
 	}
 	if *pushOn {
 		mode += "; push delivery"
+	}
+	if *binaryTiles {
+		mode += "; binary tile codec + encoded-payload cache"
 	}
 	endpoints := "GET /meta, /tile?level=&y=&x=, /stats"
 	if *pushOn {

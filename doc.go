@@ -102,6 +102,18 @@
 //     push-to-consume lead time, per-session drain rates) rides /stats
 //     and /metrics as forecache_push_* series. Push off is the pull
 //     deployment bit-for-bit;
+//   - zero-copy tile serving (internal/tile codec + encoded cache): with
+//     MiddlewareConfig.BinaryTiles (serve -binary-tiles) every tile
+//     response body — the streamed-JSON rendering and the versioned,
+//     CRC-checked binary codec (Accept: application/x-forecache-tile),
+//     each optionally gzip-compressed — is memoized in one
+//     deployment-wide byte-budgeted LRU (EncodedCacheBudget) with
+//     single-flight encoding, shared by the /tile handler and the push
+//     registry, so a tile is encoded at most once per format however
+//     it leaves the server. The Go client opts in with
+//     NegotiateBinary; the default JSON wire format is byte-for-byte
+//     unchanged, knob off or on. Cache traffic and encode latencies
+//     ride /metrics as the forecache_tile_* series;
 //   - the observability layer (internal/obs): with
 //     MiddlewareConfig.Tracing every /tile request is traced end to end
 //     (trace id echoed as X-Trace-ID, per-span breakdown across session

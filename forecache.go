@@ -337,6 +337,19 @@ type MiddlewareConfig struct {
 	// backend.SharedPool of that many tiles, so popular tiles are fetched
 	// once and reused by every session. Only NewServer honors this.
 	SharedTiles int
+	// BinaryTiles enables zero-recompute tile serving: a deployment-wide
+	// encoded-payload cache memoizes each tile's wire bytes per (coord,
+	// format, compression), /tile content-negotiates the binary codec
+	// ("Accept: application/x-forecache-tile") and gzip compression, and
+	// push frames embed the cached JSON body instead of re-marshaling the
+	// tile per attached stream. Clients that send no Accept header still
+	// get byte-identical legacy JSON; off (the default), the serving paths
+	// are bit-for-bit the per-request-marshal deployment. Only NewServer
+	// honors this.
+	BinaryTiles bool
+	// EncodedCacheBudget caps the encoded-payload cache in bytes. 0 means
+	// the 64 MiB default. Only meaningful with BinaryTiles.
+	EncodedCacheBudget int64
 	// MaxSessions caps live server sessions; the least recently used
 	// session is evicted past the cap. 0 = unlimited.
 	MaxSessions int
@@ -614,6 +627,15 @@ func (d *Dataset) NewServer(train []*trace.Trace, cfg MiddlewareConfig) (*server
 	if cfg.Pprof {
 		opts = append(opts, server.WithPprof())
 	}
+	// The encoded-payload cache is deployment-wide: the /tile handler and
+	// the push registry share it, so the pull and push paths serve the same
+	// memoized bytes and a tile is encoded once however it leaves the
+	// server. The encode-duration hook is nil-receiver safe when untraced.
+	var encCache *tile.EncodedCache
+	if cfg.BinaryTiles {
+		encCache = tile.NewEncodedCache(cfg.EncodedCacheBudget, pipe.ObserveTileEncode)
+		opts = append(opts, server.WithEncodedTiles(encCache))
+	}
 	if cfg.Push && !cfg.AsyncPrefetch {
 		return nil, fmt.Errorf("forecache: Push requires AsyncPrefetch (push frames are produced by the shared scheduler)")
 	}
@@ -634,7 +656,7 @@ func (d *Dataset) NewServer(train []*trace.Trace, cfg MiddlewareConfig) (*server
 		// and the server's /stream transport (frame drain), so the two sides
 		// can never disagree about which sessions have live streams.
 		if cfg.Push {
-			reg := push.NewRegistry(push.Config{Obs: pipe})
+			reg := push.NewRegistry(push.Config{Obs: pipe, Encoded: encCache})
 			pcfg.Push = reg
 			opts = append(opts, server.WithPush(reg))
 		}

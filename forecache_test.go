@@ -742,3 +742,69 @@ func TestHotspotServerLearnsConsumption(t *testing.T) {
 		t.Fatalf("sessions = %d, want 2", srv.Sessions())
 	}
 }
+
+// TestBinaryTilesFacade proves the BinaryTiles knob wires the whole
+// zero-copy serving stack: the deployment-wide encoded cache feeds both
+// /tile negotiation and push payloads, a binary-negotiating client sees
+// exactly the tiles a default JSON client sees, and the encoded-cache
+// metric families reach /metrics.
+func TestBinaryTilesFacade(t *testing.T) {
+	ds, traces := testWorld(t)
+	srv, err := ds.NewServer(traces, MiddlewareConfig{
+		K: 5, AsyncPrefetch: true, Push: true,
+		BinaryTiles: true, MetricsEndpoint: true, Tracing: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+
+	walk := []Coord{{}, {Level: 1}, {Level: 2}}
+	jc := client.New(ts.URL, "json-analyst")
+	bc := client.New(ts.URL, "bin-analyst")
+	bc.NegotiateBinary(true)
+	for _, coord := range walk {
+		jt, _, err := jc.Tile(coord)
+		if err != nil {
+			t.Fatalf("json client %v: %v", coord, err)
+		}
+		bt, _, err := bc.Tile(coord)
+		if err != nil {
+			t.Fatalf("binary client %v: %v", coord, err)
+		}
+		if bt.Coord != jt.Coord || bt.Size != jt.Size || len(bt.Data) != len(jt.Data) {
+			t.Fatalf("%v: binary tile %+v != json tile %+v", coord, bt, jt)
+		}
+		for a := range jt.Data {
+			for i := range jt.Data[a] {
+				jb := math.Float64bits(jt.Data[a][i])
+				bb := math.Float64bits(bt.Data[a][i])
+				if jb != bb {
+					t.Fatalf("%v attr %d cell %d: %x != %x", coord, a, i, bb, jb)
+				}
+			}
+		}
+	}
+
+	resp, err := ts.Client().Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, family := range []string{
+		"forecache_tile_encode_cache_hits_total",
+		"forecache_tile_encode_misses_total",
+		"forecache_tile_encode_duration_seconds_bucket",
+		"forecache_tile_response_bytes_bucket",
+	} {
+		if !strings.Contains(string(body), family) {
+			t.Errorf("metrics exposition missing %s", family)
+		}
+	}
+}

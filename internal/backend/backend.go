@@ -11,6 +11,7 @@ package backend
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"forecache/internal/tile"
@@ -93,8 +94,10 @@ type DBMS struct {
 	latency LatencyModel
 	clock   Clock
 
-	mu      sync.Mutex
-	queries int
+	// queries is atomic: every fetch — including the cross-shard coalesced
+	// path — bumps it, and a mutex held just for a counter serializes all
+	// concurrent fetchers.
+	queries atomic.Int64
 }
 
 // NewDBMS wraps a pyramid. A nil clock disables latency accounting.
@@ -108,9 +111,7 @@ func (d *DBMS) Fetch(c tile.Coord) (*tile.Tile, error) {
 	if err != nil {
 		return nil, fmt.Errorf("backend: %w", err)
 	}
-	d.mu.Lock()
-	d.queries++
-	d.mu.Unlock()
+	d.queries.Add(1)
 	if d.clock != nil {
 		d.clock.Sleep(d.latency.Miss)
 	}
@@ -125,17 +126,13 @@ func (d *DBMS) FetchQuiet(c tile.Coord) (*tile.Tile, error) {
 	if err != nil {
 		return nil, fmt.Errorf("backend: %w", err)
 	}
-	d.mu.Lock()
-	d.queries++
-	d.mu.Unlock()
+	d.queries.Add(1)
 	return t, nil
 }
 
 // Queries returns the number of DBMS fetches issued.
 func (d *DBMS) Queries() int {
-	d.mu.Lock()
-	defer d.mu.Unlock()
-	return d.queries
+	return int(d.queries.Load())
 }
 
 // Latency returns the configured latency model.

@@ -3,6 +3,7 @@ package backend
 import (
 	"container/list"
 	"sync"
+	"sync/atomic"
 
 	"forecache/internal/tile"
 )
@@ -43,10 +44,15 @@ type SharedPool struct {
 	db       *DBMS
 	capacity int
 
-	mu    sync.Mutex
-	lru   *list.List // of *tile.Tile, front = most recent
-	idx   map[tile.Coord]*list.Element
-	stats SharedStats
+	mu  sync.Mutex
+	lru *list.List // of *tile.Tile, front = most recent
+	idx map[tile.Coord]*list.Element
+
+	// The stats counters are atomic so Stats() never contends with the
+	// LRU lock taken on every fetch.
+	poolHits    atomic.Int64
+	dbmsFetches atomic.Int64
+	evicted     atomic.Int64
 }
 
 // NewSharedPool wraps the DBMS with a pool holding up to capacity tiles.
@@ -101,9 +107,11 @@ func (p *SharedPool) Pyramid() *tile.Pyramid { return p.db.Pyramid() }
 
 // Stats snapshots the pool counters.
 func (p *SharedPool) Stats() SharedStats {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	return p.stats
+	return SharedStats{
+		PoolHits:    int(p.poolHits.Load()),
+		DBMSFetches: int(p.dbmsFetches.Load()),
+		Evicted:     int(p.evicted.Load()),
+	}
 }
 
 // Len returns the number of pooled tiles.
@@ -118,16 +126,16 @@ func (p *SharedPool) lookup(c tile.Coord) *tile.Tile {
 	defer p.mu.Unlock()
 	if el, ok := p.idx[c]; ok {
 		p.lru.MoveToFront(el)
-		p.stats.PoolHits++
+		p.poolHits.Add(1)
 		return el.Value.(*tile.Tile)
 	}
 	return nil
 }
 
 func (p *SharedPool) insert(t *tile.Tile) {
+	p.dbmsFetches.Add(1)
 	p.mu.Lock()
 	defer p.mu.Unlock()
-	p.stats.DBMSFetches++
 	if el, ok := p.idx[t.Coord]; ok {
 		p.lru.MoveToFront(el)
 		return
@@ -137,6 +145,6 @@ func (p *SharedPool) insert(t *tile.Tile) {
 		back := p.lru.Back()
 		p.lru.Remove(back)
 		delete(p.idx, back.Value.(*tile.Tile).Coord)
-		p.stats.Evicted++
+		p.evicted.Add(1)
 	}
 }

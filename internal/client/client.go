@@ -5,12 +5,14 @@
 package client
 
 import (
+	"compress/gzip"
 	"encoding/json"
 	"fmt"
 	"io"
 	"net/http"
 	"net/url"
 	"strconv"
+	"strings"
 	"sync"
 	"time"
 
@@ -36,6 +38,7 @@ type Client struct {
 	// buffer of streamed tiles, keyed by coordinate; order is its FIFO
 	// eviction queue, oldest first.
 	mu     sync.Mutex
+	binary bool // guarded by mu; see NegotiateBinary
 	stream *streamState
 	slots  map[tile.Coord]push.Frame
 	order  []tile.Coord
@@ -46,6 +49,19 @@ type Client struct {
 // "http://localhost:8080") using the given session id ("" = default).
 func New(base, session string) *Client {
 	return &Client{base: base, session: session, http: &http.Client{Timeout: 30 * time.Second}}
+}
+
+// NegotiateBinary toggles wire-format negotiation on Tile requests: when
+// on, the client advertises "Accept: application/x-forecache-tile" and
+// "Accept-Encoding: gzip", and decodes whatever the server grants — the
+// binary codec, gzip compression, both, or plain JSON from a server
+// without encoded serving (the headers are ignored there, so a mixed
+// fleet is safe). Off (the default) keeps requests byte-identical to
+// earlier clients.
+func (c *Client) NegotiateBinary(on bool) {
+	c.mu.Lock()
+	c.binary = on
+	c.mu.Unlock()
 }
 
 // TileInfo carries the middleware telemetry for one served tile.
@@ -81,7 +97,20 @@ func (c *Client) Tile(coord tile.Coord) (*tile.Tile, TileInfo, error) {
 	if c.session != "" {
 		q.Set("session", c.session)
 	}
-	resp, err := c.http.Get(c.base + "/tile?" + q.Encode())
+	req, err := http.NewRequest(http.MethodGet, c.base+"/tile?"+q.Encode(), nil)
+	if err != nil {
+		return nil, TileInfo{}, err
+	}
+	c.mu.Lock()
+	binary := c.binary
+	c.mu.Unlock()
+	if binary {
+		req.Header.Set("Accept", tile.BinaryContentType)
+		// Setting Accept-Encoding explicitly disables the transport's
+		// transparent decompression, so decodeTileBody gunzips by hand.
+		req.Header.Set("Accept-Encoding", "gzip")
+	}
+	resp, err := c.http.Do(req)
 	if err != nil {
 		return nil, TileInfo{}, err
 	}
@@ -89,9 +118,9 @@ func (c *Client) Tile(coord tile.Coord) (*tile.Tile, TileInfo, error) {
 	if resp.StatusCode != http.StatusOK {
 		return nil, TileInfo{}, decodeError(resp)
 	}
-	var t tile.Tile
-	if err := json.NewDecoder(resp.Body).Decode(&t); err != nil {
-		return nil, TileInfo{}, fmt.Errorf("client: decode tile: %w", err)
+	t, err := decodeTileBody(resp)
+	if err != nil {
+		return nil, TileInfo{}, err
 	}
 	info := TileInfo{
 		Hit:      resp.Header.Get("X-Cache") == "HIT",
@@ -101,7 +130,38 @@ func (c *Client) Tile(coord tile.Coord) (*tile.Tile, TileInfo, error) {
 	if ms, err := strconv.ParseFloat(resp.Header.Get("X-Latency-Ms"), 64); err == nil {
 		info.Latency = time.Duration(ms * float64(time.Millisecond))
 	}
-	return &t, info, nil
+	return t, info, nil
+}
+
+// decodeTileBody decodes a /tile response in whichever representation the
+// server chose: Content-Encoding selects the decompressor, Content-Type
+// the codec. Plain JSON from a legacy server flows through unchanged.
+func decodeTileBody(resp *http.Response) (*tile.Tile, error) {
+	body := io.Reader(resp.Body)
+	if resp.Header.Get("Content-Encoding") == "gzip" {
+		zr, err := gzip.NewReader(resp.Body)
+		if err != nil {
+			return nil, fmt.Errorf("client: gunzip tile: %w", err)
+		}
+		defer zr.Close()
+		body = zr
+	}
+	if strings.HasPrefix(resp.Header.Get("Content-Type"), tile.BinaryContentType) {
+		raw, err := io.ReadAll(body)
+		if err != nil {
+			return nil, fmt.Errorf("client: read tile: %w", err)
+		}
+		t, err := tile.DecodeBinary(raw)
+		if err != nil {
+			return nil, fmt.Errorf("client: decode tile: %w", err)
+		}
+		return t, nil
+	}
+	var t tile.Tile
+	if err := json.NewDecoder(body).Decode(&t); err != nil {
+		return nil, fmt.Errorf("client: decode tile: %w", err)
+	}
+	return &t, nil
 }
 
 // Stats fetches the session's cache statistics.

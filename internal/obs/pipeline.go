@@ -46,6 +46,13 @@ type Pipeline struct {
 	// session's push stream to that tile's request arriving. The push
 	// analogue of LeadTime — a positive lead means the stream beat the pan.
 	PushLead *Histogram
+	// TileEncode is the wall time of tile payload encodings (JSON or
+	// binary). With the encoded-payload cache on, only cache misses land
+	// here — hits serve previously encoded bytes.
+	TileEncode *Histogram
+	// TileBytes is the size in bytes of /tile response payloads as written:
+	// post content negotiation, post compression.
+	TileBytes *Histogram
 
 	// Traces is the bounded ring of completed request traces (nil when
 	// disabled).
@@ -59,7 +66,8 @@ type Pipeline struct {
 // and backend latencies from 100µs to ~3.3s (the paper's 984 ms DBMS
 // miss sits mid-ladder), queue waits from 10µs, lead times from 1 ms to
 // ~33s (a prefetched tile may sit for many think-times before
-// consumption).
+// consumption), tile encodes from 1µs, and response payload sizes in
+// byte-valued buckets from 64 B to ~1 GB.
 func NewPipeline(cfg Config) *Pipeline {
 	p := &Pipeline{
 		RequestHit:   NewHistogram(ExpBuckets(100e-6, 2, 15)),
@@ -69,6 +77,8 @@ func NewPipeline(cfg Config) *Pipeline {
 		BackendFetch: NewHistogram(ExpBuckets(100e-6, 2, 15)),
 		LeadTime:     NewHistogram(ExpBuckets(1e-3, 2, 15)),
 		PushLead:     NewHistogram(ExpBuckets(1e-3, 2, 15)),
+		TileEncode:   NewHistogram(ExpBuckets(1e-6, 2, 15)),
+		TileBytes:    NewHistogram(ExpBuckets(64, 4, 12)),
 		Log:          cfg.Logger,
 	}
 	if cfg.TraceCapacity >= 0 {
@@ -122,6 +132,23 @@ func (p *Pipeline) ObservePushLead(d time.Duration) {
 		return
 	}
 	p.PushLead.ObserveDuration(d)
+}
+
+// ObserveTileEncode records one tile payload encode duration. Nil-safe.
+func (p *Pipeline) ObserveTileEncode(d time.Duration) {
+	if p == nil {
+		return
+	}
+	p.TileEncode.ObserveDuration(d)
+}
+
+// ObserveTileBytes records the byte size of one written /tile response
+// payload. Nil-safe.
+func (p *Pipeline) ObserveTileBytes(n int) {
+	if p == nil {
+		return
+	}
+	p.TileBytes.Observe(float64(n))
 }
 
 // NewLogger builds a structured text logger at the named level (debug,

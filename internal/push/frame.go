@@ -57,6 +57,26 @@ type Frame struct {
 	Coord tile.Coord `json:"coord"`
 	// Tile is the payload (nil for heartbeats).
 	Tile *tile.Tile `json:"tile,omitempty"`
+	// Payload, when set, is the tile's already-encoded JSON body — the same
+	// bytes the /tile endpoint serves, shared through the deployment's
+	// encoded-payload cache. Encode splices it into the "tile" field
+	// verbatim instead of re-marshaling Tile, so a tile pushed to N
+	// attached streams is encoded once, not N times. It is never a wire
+	// field of its own, and Decode leaves it nil (populating Tile).
+	Payload json.RawMessage `json:"-"`
+}
+
+// wireFrame is Frame's wire shape when a pre-encoded payload is spliced
+// in: identical fields, but the "tile" value is raw bytes.
+type wireFrame struct {
+	Type     string          `json:"type"`
+	Session  string          `json:"session,omitempty"`
+	Seq      uint64          `json:"seq"`
+	Model    string          `json:"model,omitempty"`
+	Score    float64         `json:"score,omitempty"`
+	Backfill bool            `json:"backfill,omitempty"`
+	Coord    tile.Coord      `json:"coord"`
+	Tile     json.RawMessage `json:"tile,omitempty"`
 }
 
 // Encode writes f as one SSE event — "event: <type>", "data: <json>", and
@@ -71,7 +91,19 @@ func Encode(w io.Writer, f Frame) (int, error) {
 	default:
 		return 0, fmt.Errorf("push: unknown frame type %q", f.Type)
 	}
-	data, err := json.Marshal(f)
+	var data []byte
+	var err error
+	if f.Type == FrameTile && len(f.Payload) > 0 {
+		// json.Marshal compacts the RawMessage onto the single data line
+		// (the cached body carries a trailing newline), so the SSE framing
+		// holds regardless of how the payload was produced.
+		data, err = json.Marshal(wireFrame{
+			Type: f.Type, Session: f.Session, Seq: f.Seq, Model: f.Model,
+			Score: f.Score, Backfill: f.Backfill, Coord: f.Coord, Tile: f.Payload,
+		})
+	} else {
+		data, err = json.Marshal(f)
+	}
 	if err != nil {
 		return 0, fmt.Errorf("push: encode frame: %w", err)
 	}

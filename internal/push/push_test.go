@@ -365,3 +365,93 @@ func TestRegistryBackfillCounted(t *testing.T) {
 		t.Fatal("Backfill onto a closed stream succeeded")
 	}
 }
+
+func TestEncodePayloadMatchesLegacy(t *testing.T) {
+	c := tile.Coord{Level: 2, Y: 1, X: 3}
+	tl := testTile(c)
+	f := Frame{Type: FrameTile, Session: "s", Seq: 5, Model: "m", Score: 0.5, Coord: c, Tile: tl}
+	var legacy bytes.Buffer
+	if _, err := Encode(&legacy, f); err != nil {
+		t.Fatal(err)
+	}
+	body, err := tl.EncodeJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.Payload = body
+	var embedded bytes.Buffer
+	if _, err := Encode(&embedded, f); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(legacy.Bytes(), embedded.Bytes()) {
+		t.Fatalf("payload-embedded frame differs from legacy marshal:\nlegacy:   %q\nembedded: %q",
+			legacy.Bytes(), embedded.Bytes())
+	}
+}
+
+func TestRegistryPushSharesEncodedPayload(t *testing.T) {
+	ec := tile.NewEncodedCache(0, nil)
+	r := NewRegistry(Config{Encoded: ec})
+	c := tile.Coord{Level: 2, Y: 1, X: 1}
+	tl := testTile(c)
+	sessions := []string{"s0", "s1", "s2"}
+	streams := make([]*Stream, len(sessions))
+	for i, s := range sessions {
+		streams[i] = r.Attach(s)
+	}
+	for i, s := range sessions {
+		if !r.Push(s, "m", c, 1, tl) {
+			t.Fatalf("Push to %s (stream %d) failed", s, i)
+		}
+	}
+	// Delivering one tile to N streams must encode it exactly once.
+	if st := ec.Stats(); st.Misses != 1 {
+		t.Fatalf("tile encoded %d times for %d streams, want 1 (stats %+v)",
+			st.Misses, len(streams), st)
+	}
+	for i, st := range streams {
+		f := <-st.Frames()
+		if len(f.Payload) == 0 {
+			t.Fatalf("stream %d: frame carries no cached payload", i)
+		}
+		var buf bytes.Buffer
+		if _, err := Encode(&buf, f); err != nil {
+			t.Fatalf("stream %d: Encode: %v", i, err)
+		}
+		got, err := Decode(bufio.NewReader(&buf))
+		if err != nil {
+			t.Fatalf("stream %d: Decode: %v", i, err)
+		}
+		if got.Tile == nil || got.Tile.Coord != c || got.Tile.Data[0][1] != -2.25 {
+			t.Fatalf("stream %d: decoded tile corrupted: %+v", i, got.Tile)
+		}
+	}
+}
+
+func TestRegistryBackfillUsesEncodedPayload(t *testing.T) {
+	ec := tile.NewEncodedCache(0, nil)
+	r := NewRegistry(Config{Encoded: ec})
+	st := r.Attach("s")
+	c := tile.Coord{Level: 2, Y: 1}
+	if !r.Backfill(st, "m", c, testTile(c)) {
+		t.Fatal("Backfill failed")
+	}
+	f := <-st.Frames()
+	if len(f.Payload) == 0 {
+		t.Fatal("backfill frame carries no cached payload")
+	}
+	if stats := ec.Stats(); stats.Misses != 1 {
+		t.Fatalf("stats: %+v", stats)
+	}
+	var buf bytes.Buffer
+	if _, err := Encode(&buf, f); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Decode(bufio.NewReader(&buf))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Backfill || got.Tile == nil || got.Tile.Coord != c {
+		t.Fatalf("decoded frame: %+v", got)
+	}
+}

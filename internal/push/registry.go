@@ -1,6 +1,7 @@
 package push
 
 import (
+	"encoding/json"
 	"sync"
 	"time"
 
@@ -32,6 +33,11 @@ type Config struct {
 	// Obs, when set, receives push-to-consume lead times (frame enqueued to
 	// the tile's request arriving). Nil is a no-op.
 	Obs *obs.Pipeline
+	// Encoded, when set, is the deployment's encoded-payload cache: every
+	// pushed frame carries the tile's memoized JSON body (Frame.Payload),
+	// so a tile delivered to N attached streams — and to the /tile pull
+	// path — is encoded exactly once. Nil keeps the per-frame marshal.
+	Encoded *tile.EncodedCache
 	// Now overrides time.Now (test seam).
 	Now func() time.Time
 }
@@ -210,6 +216,7 @@ func (r *Registry) closeStreamLocked(st *Stream) {
 func (r *Registry) Push(session, model string, c tile.Coord, score float64, t *tile.Tile) bool {
 	return r.enqueue(session, Frame{
 		Type: FrameTile, Model: model, Score: score, Coord: c, Tile: t,
+		Payload: r.encodedPayload(c, t),
 	}, false)
 }
 
@@ -218,6 +225,7 @@ func (r *Registry) Push(session, model string, c tile.Coord, score float64, t *t
 // without re-fetching (and without touching cache outcome accounting —
 // the caller reads the cache through a side-effect-free snapshot).
 func (r *Registry) Backfill(st *Stream, model string, c tile.Coord, t *tile.Tile) bool {
+	payload := r.encodedPayload(c, t) // encode outside the registry lock
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	if r.streams[st.session] != st {
@@ -226,7 +234,23 @@ func (r *Registry) Backfill(st *Stream, model string, c tile.Coord, t *tile.Tile
 	}
 	return r.enqueueLocked(st, Frame{
 		Type: FrameTile, Model: model, Coord: c, Tile: t, Backfill: true,
+		Payload: payload,
 	}, true)
+}
+
+// encodedPayload returns t's memoized JSON body from the encoded-payload
+// cache, or nil — falling back to Encode's per-frame marshal — when the
+// cache is absent or the encode fails. Called before taking the registry
+// lock: a first-touch encode must not stall every other stream.
+func (r *Registry) encodedPayload(c tile.Coord, t *tile.Tile) json.RawMessage {
+	if r.cfg.Encoded == nil || t == nil {
+		return nil
+	}
+	p, err := r.cfg.Encoded.Get(c, tile.FormatJSON, false, t.EncodeJSON)
+	if err != nil {
+		return nil
+	}
+	return p
 }
 
 func (r *Registry) enqueue(session string, f Frame, backfill bool) bool {

@@ -271,6 +271,23 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 			"gauge", drainSamples...)
 	}
 
+	if s.encoded != nil {
+		st := s.encoded.Stats()
+		pw.counter("forecache_tile_encode_cache_hits_total", "Tile payload requests served from the encoded-payload cache (or coalesced onto an in-flight encode).", float64(st.Hits))
+		pw.counter("forecache_tile_encode_misses_total", "Tile payload encodings actually performed (encoded-cache misses).", float64(st.Misses))
+		pw.counter("forecache_tile_encoded_cache_evicted_total", "Encoded payloads dropped by the cache's byte-budget LRU.", float64(st.Evicted))
+		pw.gauge("forecache_tile_encoded_cache_entries", "Encoded payloads resident in the cache.", float64(st.Entries))
+		pw.gauge("forecache_tile_encoded_cache_bytes", "Bytes of encoded payloads resident in the cache (budget accounting, bookkeeping overhead included).", float64(st.Bytes))
+		if s.obs != nil {
+			pw.histogramFamily("forecache_tile_encode_duration_seconds",
+				"Wall time of tile payload encodings (JSON or binary); with the encoded cache on, only misses encode.",
+				histSeries{snap: s.obs.TileEncode.Snapshot()})
+			pw.histogramFamily("forecache_tile_response_bytes",
+				"Size of /tile response payloads as written: post content negotiation, post compression.",
+				histSeries{snap: s.obs.TileBytes.Snapshot()})
+		}
+	}
+
 	if s.obs != nil {
 		if s.push != nil {
 			pw.histogramFamily("forecache_push_lead_time_seconds",

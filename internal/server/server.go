@@ -114,6 +114,17 @@ func WithAllocation(p *core.AdaptivePolicy) Option {
 	return func(s *Server) { s.alloc = p }
 }
 
+// WithEncodedTiles attaches the deployment-wide encoded-payload cache and
+// turns on /tile content negotiation: "Accept: application/x-forecache-tile"
+// selects the binary codec, "Accept-Encoding: gzip" compresses the payload
+// with pooled writers, and every encoding is memoized per (coord, format,
+// compression) — an immutable tile is encoded once and served N times as
+// cached bytes. Without this option /tile keeps the legacy per-request
+// JSON marshal, byte for byte.
+func WithEncodedTiles(ec *tile.EncodedCache) Option {
+	return func(s *Server) { s.encoded = ec }
+}
+
 // WithObs attaches the deployment's observability pipeline: every /tile
 // request gets a trace (id returned as X-Trace-ID, span breakdown
 // retained in the pipeline's ring buffer, request latency fed to the
@@ -180,7 +191,8 @@ type Server struct {
 	sched       prefetch.Pipeline
 	alloc       *core.AdaptivePolicy
 	persist     *persist.Store
-	push        *push.Registry // nil => pull-only deployment
+	push        *push.Registry     // nil => pull-only deployment
+	encoded     *tile.EncodedCache // nil => legacy per-request JSON marshal
 	metrics     bool
 	obs         *obs.Pipeline // nil => untraced
 	pprofOn     bool
@@ -549,7 +561,7 @@ func (s *Server) handleTile(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("X-Phase", resp.Phase.String())
 	w.Header().Set("X-Latency-Ms",
 		strconv.FormatFloat(float64(resp.Latency)/float64(time.Millisecond), 'f', 3, 64))
-	writeJSON(w, http.StatusOK, resp.Tile)
+	s.writeTile(w, r, c, resp.Tile)
 }
 
 // StatsResponse is the /stats payload: the session's cache counters (when

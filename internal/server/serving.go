@@ -1,0 +1,140 @@
+package server
+
+import (
+	"bytes"
+	"compress/gzip"
+	"io"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync"
+
+	"forecache/internal/tile"
+)
+
+// Tile response serving: with an encoded-payload cache attached
+// (WithEncodedTiles) the /tile handler negotiates the wire format from the
+// request headers and answers with memoized bytes — the tile is encoded at
+// most once per (format, compression) for its cache lifetime, and the
+// response write is a single copy from the cached payload. Without the
+// cache the legacy json.Encoder path runs unchanged.
+
+// writeTile answers a /tile request with t's payload in the negotiated
+// format. The plain-JSON rendering (no Accept header, no gzip) is
+// byte-identical to the legacy writeJSON path, cached or not.
+func (s *Server) writeTile(w http.ResponseWriter, r *http.Request, c tile.Coord, t *tile.Tile) {
+	if s.encoded == nil {
+		writeJSON(w, http.StatusOK, t)
+		return
+	}
+	format := tile.FormatJSON
+	if acceptsTileBinary(r.Header.Get("Accept")) {
+		format = tile.FormatBinary
+	}
+	gz := acceptsGzip(r.Header.Get("Accept-Encoding"))
+	payload, err := s.encodedBody(c, t, format, gz)
+	if err != nil {
+		httpError(w, http.StatusInternalServerError, err)
+		return
+	}
+	h := w.Header()
+	h.Add("Vary", "Accept")
+	h.Add("Vary", "Accept-Encoding")
+	if format == tile.FormatBinary {
+		h.Set("Content-Type", tile.BinaryContentType)
+	} else {
+		h.Set("Content-Type", "application/json")
+	}
+	if gz {
+		h.Set("Content-Encoding", "gzip")
+	}
+	h.Set("Content-Length", strconv.Itoa(len(payload)))
+	w.WriteHeader(http.StatusOK)
+	_, _ = w.Write(payload)
+	s.obs.ObserveTileBytes(len(payload))
+}
+
+// encodedBody returns the cached response body for (c, format, gz),
+// encoding it on first touch. The gzip variant composes through the cache:
+// it compresses the cached plain body of the same format, so a warm
+// deployment never re-encodes a tile just to change its compression.
+func (s *Server) encodedBody(c tile.Coord, t *tile.Tile, format tile.Format, gz bool) ([]byte, error) {
+	encode := func() ([]byte, error) {
+		if format == tile.FormatBinary {
+			return tile.EncodeBinary(t)
+		}
+		return t.EncodeJSON()
+	}
+	if !gz {
+		return s.encoded.Get(c, format, false, encode)
+	}
+	return s.encoded.Get(c, format, true, func() ([]byte, error) {
+		plain, err := s.encoded.Get(c, format, false, encode)
+		if err != nil {
+			return nil, err
+		}
+		return gzipBytes(plain)
+	})
+}
+
+// acceptsTileBinary reports whether the Accept header asks for the binary
+// tile codec. Exact media-type matching (with or without parameters) is
+// enough here: the negotiation is a two-format switch, not a full RFC 9110
+// q-value resolution — a client naming the type wants it.
+func acceptsTileBinary(accept string) bool {
+	for _, part := range strings.Split(accept, ",") {
+		mt, _, _ := strings.Cut(strings.TrimSpace(part), ";")
+		if strings.TrimSpace(mt) == tile.BinaryContentType {
+			return true
+		}
+	}
+	return false
+}
+
+// acceptsGzip reports whether the Accept-Encoding header admits gzip.
+func acceptsGzip(acceptEncoding string) bool {
+	for _, part := range strings.Split(acceptEncoding, ",") {
+		enc, params, _ := strings.Cut(strings.TrimSpace(part), ";")
+		enc = strings.TrimSpace(enc)
+		if enc != "gzip" && enc != "*" {
+			continue
+		}
+		// "gzip;q=0" is an explicit refusal.
+		if q, ok := strings.CutPrefix(strings.TrimSpace(params), "q="); ok {
+			if v, err := strconv.ParseFloat(strings.TrimSpace(q), 64); err == nil && v == 0 {
+				continue
+			}
+		}
+		return true
+	}
+	return false
+}
+
+// Pooled gzip machinery: compression runs once per cached payload, but the
+// pools keep even cold-cache bursts (a fleet restart, an encoded-cache
+// wipe) from allocating a ~800 KB gzip.Writer per request.
+var (
+	gzipWriterPool = sync.Pool{New: func() any { return gzip.NewWriter(io.Discard) }}
+	gzipBufPool    = sync.Pool{New: func() any { return new(bytes.Buffer) }}
+)
+
+// gzipBytes compresses plain with a pooled writer and returns an owned
+// slice (the result outlives the pooled buffer inside the encoded cache).
+func gzipBytes(plain []byte) ([]byte, error) {
+	buf := gzipBufPool.Get().(*bytes.Buffer)
+	buf.Reset()
+	zw := gzipWriterPool.Get().(*gzip.Writer)
+	zw.Reset(buf)
+	_, werr := zw.Write(plain)
+	cerr := zw.Close()
+	gzipWriterPool.Put(zw)
+	out := bytes.Clone(buf.Bytes())
+	gzipBufPool.Put(buf)
+	if werr != nil {
+		return nil, werr
+	}
+	if cerr != nil {
+		return nil, cerr
+	}
+	return out, nil
+}

@@ -1,0 +1,252 @@
+package server
+
+import (
+	"bytes"
+	"compress/gzip"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"forecache/internal/client"
+	"forecache/internal/obs"
+	"forecache/internal/push"
+	"forecache/internal/tile"
+)
+
+// getTileRaw issues GET /tile?level=0&y=0&x=0 with the given headers and
+// returns the response plus its full (undecoded) body. Each call must use
+// a fresh session: re-requesting a session's current coordinate is not a
+// legal pan/zoom move.
+func getTileRaw(t *testing.T, ts *httptest.Server, session string, headers map[string]string) (*http.Response, []byte) {
+	t.Helper()
+	req, err := http.NewRequest(http.MethodGet, ts.URL+"/tile?level=0&y=0&x=0&session="+session, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k, v := range headers {
+		req.Header.Set(k, v)
+	}
+	// A non-nil Accept-Encoding disables the transport's transparent
+	// gunzip, so the body below is exactly what the server wrote.
+	resp, err := ts.Client().Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d, body %s", resp.StatusCode, body)
+	}
+	return resp, body
+}
+
+// TestEncodedTilesDefaultBodyMatchesLegacy: with no Accept header and no
+// compression, the encoded-cache serving path must produce the exact bytes
+// of the legacy json.Encoder path — replay suites diff bodies.
+func TestEncodedTilesDefaultBodyMatchesLegacy(t *testing.T) {
+	_, legacy := testServer(t)
+	_, encoded := testServer(t, WithEncodedTiles(tile.NewEncodedCache(0, nil)))
+	lr, lbody := getTileRaw(t, legacy, "l1", nil)
+	er, ebody := getTileRaw(t, encoded, "e1", nil)
+	if !bytes.Equal(lbody, ebody) {
+		t.Fatalf("cached body differs from legacy body:\nlegacy:  %q\nencoded: %q", lbody, ebody)
+	}
+	if lct, ect := lr.Header.Get("Content-Type"), er.Header.Get("Content-Type"); lct != ect {
+		t.Fatalf("content type drifted: legacy %q, encoded %q", lct, ect)
+	}
+	if enc := er.Header.Get("Content-Encoding"); enc != "" {
+		t.Fatalf("unsolicited Content-Encoding %q", enc)
+	}
+}
+
+// TestTileBinaryNegotiation: Accept: application/x-forecache-tile selects
+// the binary codec, and the decoded tile carries the same payload as the
+// JSON rendering (proved by re-encoding it to the canonical JSON body).
+func TestTileBinaryNegotiation(t *testing.T) {
+	ec := tile.NewEncodedCache(0, nil)
+	_, ts := testServer(t, WithEncodedTiles(ec))
+	_, plain := getTileRaw(t, ts, "b0", nil)
+	resp, body := getTileRaw(t, ts, "b1", map[string]string{"Accept": tile.BinaryContentType})
+	if ct := resp.Header.Get("Content-Type"); ct != tile.BinaryContentType {
+		t.Fatalf("Content-Type = %q, want %q", ct, tile.BinaryContentType)
+	}
+	if vary := resp.Header.Values("Vary"); len(vary) == 0 ||
+		!strings.Contains(strings.Join(vary, ","), "Accept") {
+		t.Fatalf("Vary = %q, want Accept", vary)
+	}
+	tl, err := tile.DecodeBinary(body)
+	if err != nil {
+		t.Fatalf("DecodeBinary: %v", err)
+	}
+	reJSON, err := tl.EncodeJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(reJSON, plain) {
+		t.Fatalf("binary tile does not match JSON rendering:\njson:     %q\nvia-bin:  %q", plain, reJSON)
+	}
+}
+
+// TestTileGzipNegotiation: Accept-Encoding: gzip compresses either format,
+// and the decompressed bytes are exactly the plain cached body.
+func TestTileGzipNegotiation(t *testing.T) {
+	ec := tile.NewEncodedCache(0, nil)
+	_, ts := testServer(t, WithEncodedTiles(ec))
+	for _, accept := range []string{"", tile.BinaryContentType} {
+		hdr := map[string]string{}
+		if accept != "" {
+			hdr["Accept"] = accept
+		}
+		_, plain := getTileRaw(t, ts, "gz-plain-"+accept, hdr)
+		hdr["Accept-Encoding"] = "gzip"
+		resp, packed := getTileRaw(t, ts, "gz-packed-"+accept, hdr)
+		if enc := resp.Header.Get("Content-Encoding"); enc != "gzip" {
+			t.Fatalf("accept=%q: Content-Encoding = %q, want gzip", accept, enc)
+		}
+		zr, err := gzip.NewReader(bytes.NewReader(packed))
+		if err != nil {
+			t.Fatalf("accept=%q: %v", accept, err)
+		}
+		unpacked, err := io.ReadAll(zr)
+		if err != nil {
+			t.Fatalf("accept=%q: %v", accept, err)
+		}
+		if !bytes.Equal(unpacked, plain) {
+			t.Fatalf("accept=%q: gunzipped body differs from plain body", accept)
+		}
+	}
+	// Explicit refusal keeps the body uncompressed.
+	resp, _ := getTileRaw(t, ts, "gz-refuse", map[string]string{"Accept-Encoding": "gzip;q=0"})
+	if enc := resp.Header.Get("Content-Encoding"); enc != "" {
+		t.Fatalf("gzip;q=0 still compressed (Content-Encoding %q)", enc)
+	}
+}
+
+// TestClientBinaryNegotiationEquivalence: a NegotiateBinary client gets the
+// same tile as a default JSON client, and a default client is unaffected by
+// the server's encoded cache.
+func TestClientBinaryNegotiationEquivalence(t *testing.T) {
+	_, ts := testServer(t, WithEncodedTiles(tile.NewEncodedCache(0, nil)))
+	root := tile.Coord{}
+	jc := client.New(ts.URL, "json")
+	jt, _, err := jc.Tile(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bc := client.New(ts.URL, "bin")
+	bc.NegotiateBinary(true)
+	bt, _, err := bc.Tile(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bt.Coord != jt.Coord || bt.Size != jt.Size || len(bt.Data) != len(jt.Data) {
+		t.Fatalf("binary tile %+v != json tile %+v", bt, jt)
+	}
+	for a := range jt.Data {
+		for i := range jt.Data[a] {
+			if bt.Data[a][i] != jt.Data[a][i] {
+				t.Fatalf("attr %d cell %d: %v != %v", a, i, bt.Data[a][i], jt.Data[a][i])
+			}
+		}
+	}
+}
+
+// TestMetricsExposeEncodedCacheFamilies: the /metrics exposition carries
+// the forecache_tile_* families, passes the strict format validator, and
+// the hit counter grows on repeated requests.
+func TestMetricsExposeEncodedCacheFamilies(t *testing.T) {
+	pipe := obs.NewPipeline(obs.Config{})
+	ec := tile.NewEncodedCache(0, pipe.ObserveTileEncode)
+	_, ts := testServer(t, WithEncodedTiles(ec), WithMetrics(), WithObs(pipe))
+	getTileRaw(t, ts, "m0", nil)
+	getTileRaw(t, ts, "m1", map[string]string{"Accept": tile.BinaryContentType})
+	scrape := func() map[string]float64 {
+		resp, err := ts.Client().Get(ts.URL + "/metrics")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		body, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return validatePromText(t, string(body))
+	}
+	first := scrape()
+	for _, name := range []string{
+		"forecache_tile_encode_cache_hits_total",
+		"forecache_tile_encode_misses_total",
+		"forecache_tile_encoded_cache_evicted_total",
+		"forecache_tile_encoded_cache_entries",
+		"forecache_tile_encoded_cache_bytes",
+		"forecache_tile_encode_duration_seconds_count",
+		"forecache_tile_response_bytes_count",
+	} {
+		if _, ok := first[name]; !ok {
+			t.Errorf("metric %s missing from exposition", name)
+		}
+	}
+	if first["forecache_tile_encode_misses_total"] < 2 {
+		t.Fatalf("misses = %v after two differently-negotiated requests", first["forecache_tile_encode_misses_total"])
+	}
+	getTileRaw(t, ts, "m2", nil) // warm repeat
+	second := scrape()
+	if second["forecache_tile_encode_cache_hits_total"] <= first["forecache_tile_encode_cache_hits_total"] {
+		t.Fatalf("hits did not grow on a warm repeat: %v -> %v",
+			first["forecache_tile_encode_cache_hits_total"], second["forecache_tile_encode_cache_hits_total"])
+	}
+	if second["forecache_tile_encode_misses_total"] != first["forecache_tile_encode_misses_total"] {
+		t.Fatalf("warm repeat re-encoded: misses %v -> %v",
+			first["forecache_tile_encode_misses_total"], second["forecache_tile_encode_misses_total"])
+	}
+}
+
+// TestStreamPayloadEncodedOncePerTile: with the deployment-wide encoded
+// cache wired into the push registry, re-attaching a stream (backfill
+// replay) must not re-encode tiles — the encode counter is flat across
+// attachments while every frame stays decodable by the updated client.
+func TestStreamPayloadEncodedOncePerTile(t *testing.T) {
+	ec := tile.NewEncodedCache(0, nil)
+	_, ts, sched, _ := pushTestServer(t, push.Config{Encoded: ec}, WithEncodedTiles(ec))
+	frames, _ := attachStream(t, ts, "u1")
+
+	resp, err := ts.Client().Get(ts.URL + "/tile?level=0&y=0&x=0&session=u1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	sched.Drain()
+	f, ok := waitFrame(t, frames, 5*time.Second)
+	if !ok {
+		t.Fatal("stream ended before any tile frame")
+	}
+	if f.Tile == nil {
+		t.Fatalf("tile frame not decodable: %+v", f)
+	}
+	baseline := ec.Stats().Misses
+
+	// Two reconnects, each replaying the cached predictions as backfill.
+	for round := 0; round < 2; round++ {
+		refreshed, _ := attachStream(t, ts, "u1")
+		bf, ok := waitFrame(t, refreshed, 5*time.Second)
+		if !ok {
+			t.Fatalf("round %d: stream ended before backfill", round)
+		}
+		if !bf.Backfill || bf.Tile == nil {
+			t.Fatalf("round %d: backfill frame = %+v", round, bf)
+		}
+		if got := ec.Stats().Misses; got != baseline {
+			t.Fatalf("round %d: attaching a stream re-encoded tiles: misses %d -> %d",
+				round, baseline, got)
+		}
+	}
+	if st := ec.Stats(); st.Hits == 0 {
+		t.Fatalf("backfill replays never hit the encoded cache: %+v", st)
+	}
+}

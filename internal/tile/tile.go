@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"math"
+	"strconv"
 )
 
 // Tile is one data tile: a Size x Size cell grid per attribute, plus the
@@ -45,16 +46,29 @@ func (t *Tile) At(attr string, row, col int) (float64, error) {
 }
 
 // Bytes estimates the main-memory footprint of the tile in bytes; the cache
-// manager uses it for space accounting.
+// manager uses it for space accounting. The estimate covers the struct
+// itself, the grid and signature values, and the per-slice, per-string and
+// per-map-entry overhead Go charges for them — not just the raw float
+// payload, which undercounts tiles whose footprint is dominated by
+// signature vectors and attribute names.
 func (t *Tile) Bytes() int {
-	n := 0
+	const (
+		structBytes  = 96 // the Tile struct: coord + size + three slice/map headers
+		sliceHeader  = 24 // ptr+len+cap per grid / signature vector
+		stringHeader = 16 // ptr+len per attribute name / signature key
+		mapEntry     = 48 // amortized per-entry share of the Signatures hash map
+	)
+	n := structBytes
+	for _, a := range t.Attrs {
+		n += stringHeader + len(a)
+	}
 	for _, g := range t.Data {
-		n += len(g) * 8
+		n += sliceHeader + len(g)*8
 	}
-	for _, s := range t.Signatures {
-		n += len(s) * 8
+	for name, vec := range t.Signatures {
+		n += mapEntry + stringHeader + len(name) + sliceHeader + len(vec)*8
 	}
-	return n + 64
+	return n
 }
 
 // Stats summarizes one attribute of the tile (used by the Normal signature
@@ -103,21 +117,98 @@ type jsonTile struct {
 }
 
 // MarshalJSON encodes the tile with NaN cells as null so the payload is
-// valid JSON for the HTTP middleware.
+// valid JSON for the HTTP middleware. Cells stream directly into one
+// append-grown buffer; the old shape built a [][]*float64 mirror — a
+// pointer allocation per non-NaN cell on every response — just to express
+// NaN as null. The output stays byte-identical to the encoding/json
+// rendering of that mirror struct, so cached and legacy payloads agree.
 func (t *Tile) MarshalJSON() ([]byte, error) {
-	jt := jsonTile{Coord: t.Coord, Size: t.Size, Attrs: t.Attrs, Signatures: t.Signatures}
-	jt.Data = make([][]*float64, len(t.Data))
+	cells := 0
+	for _, g := range t.Data {
+		cells += len(g)
+	}
+	// ~24 bytes covers a formatted float64 plus its comma; the slack takes
+	// the fixed fields, so the buffer almost never regrows.
+	b := make([]byte, 0, 24*cells+512)
+	b = append(b, `{"coord":{"level":`...)
+	b = strconv.AppendInt(b, int64(t.Coord.Level), 10)
+	b = append(b, `,"y":`...)
+	b = strconv.AppendInt(b, int64(t.Coord.Y), 10)
+	b = append(b, `,"x":`...)
+	b = strconv.AppendInt(b, int64(t.Coord.X), 10)
+	b = append(b, `},"size":`...)
+	b = strconv.AppendInt(b, int64(t.Size), 10)
+	b = append(b, `,"attrs":`...)
+	attrs, err := json.Marshal(t.Attrs)
+	if err != nil {
+		return nil, err
+	}
+	b = append(b, attrs...)
+	b = append(b, `,"data":[`...)
 	for i, g := range t.Data {
-		row := make([]*float64, len(g))
-		for j := range g {
-			if !math.IsNaN(g[j]) {
-				v := g[j]
-				row[j] = &v
+		if i > 0 {
+			b = append(b, ',')
+		}
+		b = append(b, '[')
+		for j, v := range g {
+			if j > 0 {
+				b = append(b, ',')
+			}
+			switch {
+			case math.IsNaN(v):
+				b = append(b, "null"...)
+			case math.IsInf(v, 0):
+				return nil, fmt.Errorf("json: unsupported value: %g", v)
+			default:
+				b = appendJSONFloat(b, v)
 			}
 		}
-		jt.Data[i] = row
+		b = append(b, ']')
 	}
-	return json.Marshal(jt)
+	b = append(b, ']')
+	if len(t.Signatures) > 0 {
+		sigs, err := json.Marshal(t.Signatures)
+		if err != nil {
+			return nil, err
+		}
+		b = append(b, `,"signatures":`...)
+		b = append(b, sigs...)
+	}
+	b = append(b, '}')
+	return b, nil
+}
+
+// appendJSONFloat renders v exactly as encoding/json does: shortest
+// round-trip form, switching to 'e' notation outside [1e-6, 1e21) and
+// stripping the leading zero encoding/json strips from two-digit negative
+// exponents ("e-09" → "e-9").
+func appendJSONFloat(b []byte, v float64) []byte {
+	abs := math.Abs(v)
+	format := byte('f')
+	if abs != 0 && (abs < 1e-6 || abs >= 1e21) {
+		format = 'e'
+	}
+	b = strconv.AppendFloat(b, v, format, -1, 64)
+	if format == 'e' {
+		if n := len(b); n >= 4 && b[n-4] == 'e' && b[n-3] == '-' && b[n-2] == '0' {
+			b[n-2] = b[n-1]
+			b = b[:n-1]
+		}
+	}
+	return b
+}
+
+// EncodeJSON returns the tile's canonical HTTP response body in the JSON
+// wire format: MarshalJSON output plus the trailing newline json.Encoder
+// has always appended to /tile responses. Every layer that memoizes JSON
+// payloads (the serving tier's encoded cache, the push registry) caches
+// exactly this body, so cached and uncached responses are byte-identical.
+func (t *Tile) EncodeJSON() ([]byte, error) {
+	b, err := t.MarshalJSON()
+	if err != nil {
+		return nil, err
+	}
+	return append(b, '\n'), nil
 }
 
 // UnmarshalJSON decodes a tile written by MarshalJSON.
